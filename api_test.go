@@ -1,0 +1,92 @@
+package lrcex_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lrcex"
+)
+
+const apiSrc = `
+stmt : 'if' expr 'then' stmt 'else' stmt
+     | 'if' expr 'then' stmt
+     | 'other'
+     ;
+expr : 'cond' ;
+`
+
+func TestPublicAPIPipeline(t *testing.T) {
+	g, err := lrcex.ParseGrammar("api", apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lrcex.Analyze(g)
+	if len(res.Conflicts()) != 1 {
+		t.Fatalf("conflicts = %d, want 1 (dangling else)", len(res.Conflicts()))
+	}
+	ex, err := res.Find(res.Conflicts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Kind != lrcex.Unifying {
+		t.Fatalf("kind = %v, want unifying", ex.Kind)
+	}
+	rep := ex.Report(res.Automaton)
+	if !strings.Contains(rep, "Ambiguity detected for nonterminal stmt") {
+		t.Errorf("report missing diagnosis:\n%s", rep)
+	}
+}
+
+func TestPublicAPIFindAll(t *testing.T) {
+	g, err := lrcex.ParseGrammar("api", apiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lrcex.AnalyzeWithOptions(g, lrcex.Options{PerConflictTimeout: time.Second})
+	exs, err := res.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) != len(res.Conflicts()) {
+		t.Errorf("FindAll returned %d examples for %d conflicts", len(exs), len(res.Conflicts()))
+	}
+}
+
+func TestPublicAPIBuilder(t *testing.T) {
+	b := lrcex.NewGrammarBuilder()
+	e := b.Nonterminal("e")
+	plus := b.Terminal("+")
+	n := b.Terminal("n")
+	b.Add(e, []lrcex.Sym{e, plus, e}, -1)
+	b.Add(e, []lrcex.Sym{n}, -1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lrcex.Analyze(g)
+	if len(res.Conflicts()) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(res.Conflicts()))
+	}
+	ex, err := res.Find(res.Conflicts()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SymString(ex.Syms) != "e + e + e" {
+		t.Errorf("example = %q, want e + e + e", g.SymString(ex.Syms))
+	}
+}
+
+func TestPublicAPIPrecedenceResolution(t *testing.T) {
+	g, err := lrcex.ParseGrammar("api", "%left '+'\ne : e '+' e | 'n' ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lrcex.Analyze(g)
+	if len(res.Conflicts()) != 0 {
+		t.Errorf("precedence-resolved grammar still has %d conflicts", len(res.Conflicts()))
+	}
+	if len(res.Table.Resolved) != 1 {
+		t.Errorf("resolved = %d, want 1", len(res.Table.Resolved))
+	}
+}

@@ -1,0 +1,71 @@
+// Command ambdetect runs the baseline bounded ambiguity detector (the
+// AMBER/CFGAnalyzer-style comparator of Section 7.3) on a grammar.
+//
+// Usage:
+//
+//	ambdetect [flags] grammar.cfg
+//	ambdetect [flags] -corpus figure1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lrcex"
+	"lrcex/internal/baseline"
+	"lrcex/internal/corpus"
+)
+
+func main() {
+	var (
+		corpusName = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
+		maxLen     = flag.Int("maxlen", 12, "largest sentence length to explore")
+		timeout    = flag.Duration("timeout", 30*time.Second, "time limit")
+	)
+	flag.Parse()
+
+	name, src, err := loadSource(*corpusName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ambdetect:", err)
+		os.Exit(2)
+	}
+	g, err := lrcex.ParseGrammar(name, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ambdetect:", err)
+		os.Exit(1)
+	}
+
+	res := baseline.DetectAmbiguity(g, baseline.AmberOptions{MaxLen: *maxLen, Timeout: *timeout})
+	switch {
+	case res.Ambiguous:
+		fmt.Printf("AMBIGUOUS: nonterminal %s derives %q in two ways (bound %d, %v, %d strings examined)\n",
+			g.Name(res.Nonterminal), g.SymString(res.Sentence), res.Bound, res.Elapsed.Round(time.Millisecond), res.Strings)
+	case res.Exhausted:
+		fmt.Printf("no ambiguity up to length %d (%v, %d strings examined) — not a proof of unambiguity\n",
+			*maxLen, res.Elapsed.Round(time.Millisecond), res.Strings)
+	default:
+		fmt.Printf("inconclusive: limits reached at bound %d (%v, %d strings examined)\n",
+			res.Bound, res.Elapsed.Round(time.Millisecond), res.Strings)
+		os.Exit(3)
+	}
+}
+
+func loadSource(corpusName string, args []string) (name, src string, err error) {
+	if corpusName != "" {
+		e, ok := corpus.Get(corpusName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown corpus grammar %q", corpusName)
+		}
+		return e.Name, e.Source, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: ambdetect [flags] grammar.cfg | ambdetect -corpus NAME")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return args[0], string(b), nil
+}

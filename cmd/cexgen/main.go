@@ -1,0 +1,106 @@
+// Command cexgen reads a grammar file and reports every parsing conflict
+// with a counterexample, in the style of the paper's Figure 11.
+//
+// Usage:
+//
+//	cexgen [flags] grammar.cfg
+//	cexgen [flags] -corpus figure1
+//
+// Flags mirror the paper's implementation: a per-conflict time limit
+// (default 5s), a cumulative limit (default 2m), and -extendedsearch to lift
+// the shortest-path restriction on the unifying search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lrcex"
+	"lrcex/internal/corpus"
+)
+
+func main() {
+	var (
+		corpusName = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-conflict time limit for the unifying search")
+		cumulative = flag.Duration("cumulative", 2*time.Minute, "cumulative time limit across all conflicts")
+		extended   = flag.Bool("extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
+		quiet      = flag.Bool("q", false, "print one summary line per conflict instead of full reports")
+	)
+	flag.Parse()
+
+	name, src, err := loadSource(*corpusName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cexgen:", err)
+		os.Exit(2)
+	}
+
+	g, err := lrcex.ParseGrammar(name, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cexgen:", err)
+		os.Exit(1)
+	}
+	res := lrcex.AnalyzeWithOptions(g, lrcex.Options{
+		PerConflictTimeout: *timeout,
+		CumulativeTimeout:  *cumulative,
+		ExtendedSearch:     *extended,
+	})
+
+	// Counterexamples assume a reduced grammar: warn like yacc/CUP when
+	// nonterminals are unproductive or unreachable.
+	minExp := g.MinTerminalExpansion()
+	reach := g.Reachable()
+	for _, n := range g.Nonterminals() {
+		if minExp[n] < 0 {
+			fmt.Fprintf(os.Stderr, "warning: nonterminal %s derives no terminal string\n", g.Name(n))
+		}
+		if !reach[n] {
+			fmt.Fprintf(os.Stderr, "warning: nonterminal %s is unreachable from the start symbol\n", g.Name(n))
+		}
+	}
+
+	fmt.Printf("%s: %d nonterminals, %d productions, %d states, %d conflicts",
+		name, len(g.Nonterminals()), g.NumProductions(), len(res.Automaton.States), len(res.Conflicts()))
+	if n := len(res.Table.Resolved); n > 0 {
+		fmt.Printf(" (%d more resolved by precedence)", n)
+	}
+	fmt.Println()
+
+	if len(res.Conflicts()) == 0 {
+		fmt.Println("No conflicts: the grammar is LALR(1).")
+		return
+	}
+	for _, c := range res.Conflicts() {
+		ex, err := res.Find(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cexgen: %v\n", err)
+			os.Exit(1)
+		}
+		if *quiet {
+			fmt.Printf("state %d under %s: %s (%.3fs)\n", c.State, g.Name(c.Sym), ex.Kind, ex.Elapsed.Seconds())
+			continue
+		}
+		fmt.Println()
+		fmt.Print(ex.Report(res.Automaton))
+	}
+}
+
+func loadSource(corpusName string, args []string) (name, src string, err error) {
+	if corpusName != "" {
+		e, ok := corpus.Get(corpusName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown corpus grammar %q (try: %v)", corpusName, corpus.Names())
+		}
+		return e.Name, e.Source, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: cexgen [flags] grammar.cfg | cexgen -corpus NAME")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return args[0], string(b), nil
+}

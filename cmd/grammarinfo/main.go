@@ -1,0 +1,106 @@
+// Command grammarinfo dumps the LALR(1) analysis of a grammar: symbols,
+// productions, parser states with items and lookahead sets (the Figure 2
+// view), transitions, and conflicts.
+//
+// Usage:
+//
+//	grammarinfo [flags] grammar.cfg
+//	grammarinfo [flags] -corpus figure1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lrcex"
+	"lrcex/internal/corpus"
+	"lrcex/internal/grammar"
+)
+
+func main() {
+	var (
+		corpusName = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
+		states     = flag.Bool("states", true, "print parser states with items and lookaheads")
+		onlyState  = flag.Int("state", -1, "print only this state")
+	)
+	flag.Parse()
+
+	name, src, err := loadSource(*corpusName, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grammarinfo:", err)
+		os.Exit(2)
+	}
+	g, err := lrcex.ParseGrammar(name, src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grammarinfo:", err)
+		os.Exit(1)
+	}
+	res := lrcex.Analyze(g)
+	a := res.Automaton
+
+	fmt.Printf("Grammar %s\n", name)
+	fmt.Printf("  terminals:    %d\n", g.NumTerminals()-1)
+	fmt.Printf("  nonterminals: %d\n", len(g.Nonterminals()))
+	fmt.Printf("  productions:  %d (including the augmented start)\n", g.NumProductions())
+	fmt.Printf("  states:       %d\n", len(a.States))
+	fmt.Printf("  conflicts:    %d unresolved, %d resolved by precedence\n\n",
+		len(res.Conflicts()), len(res.Table.Resolved))
+
+	fmt.Println("Productions:")
+	for i := 0; i < g.NumProductions(); i++ {
+		fmt.Printf("  %3d: %s\n", i, g.ProdString(i))
+	}
+	fmt.Println()
+
+	if *states {
+		for _, st := range a.States {
+			if *onlyState >= 0 && st.ID != *onlyState {
+				continue
+			}
+			access := "-"
+			if st.AccessSym != grammar.NoSym {
+				access = g.Name(st.AccessSym)
+			}
+			fmt.Printf("State %d (on %s):\n", st.ID, access)
+			for _, it := range st.Items {
+				fmt.Printf("  %s\n", a.ItemWithLookahead(st.ID, it))
+			}
+			var syms []grammar.Sym
+			for s := range st.Trans {
+				syms = append(syms, s)
+			}
+			sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+			for _, s := range syms {
+				fmt.Printf("  -- %s --> state %d\n", g.Name(s), st.Trans[s])
+			}
+			fmt.Println()
+		}
+	}
+
+	if n := len(res.Conflicts()); n > 0 {
+		fmt.Printf("%d conflicts:\n", n)
+		for _, c := range res.Conflicts() {
+			fmt.Printf("  %s\n", c.Describe(a))
+		}
+	}
+}
+
+func loadSource(corpusName string, args []string) (name, src string, err error) {
+	if corpusName != "" {
+		e, ok := corpus.Get(corpusName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown corpus grammar %q", corpusName)
+		}
+		return e.Name, e.Source, nil
+	}
+	if len(args) != 1 {
+		return "", "", fmt.Errorf("usage: grammarinfo [flags] grammar.cfg | grammarinfo -corpus NAME")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	return args[0], string(b), nil
+}

@@ -1,0 +1,92 @@
+// Danglingelse walks through the paper's running example (Figures 1, 2, 5):
+// the ambiguous statement grammar, the parser states involved in the
+// dangling-else conflict, the shortest lookahead-sensitive path, and the
+// three counterexamples — including the "challenging conflict" of
+// Section 3.1 that is hard to diagnose by hand.
+//
+// Run with: go run ./examples/danglingelse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrcex"
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+)
+
+func main() {
+	entry, ok := corpus.Get("figure1")
+	if !ok {
+		log.Fatal("figure1 missing from corpus")
+	}
+	g, err := lrcex.ParseGrammar(entry.Name, entry.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := lrcex.Analyze(g)
+	a := res.Automaton
+
+	fmt.Println("The grammar (Figure 1):")
+	fmt.Print(indent(g.String()))
+
+	fmt.Printf("\nLALR construction: %d states, %d conflicts\n", len(a.States), len(res.Conflicts()))
+	for _, c := range res.Conflicts() {
+		fmt.Printf("  %s\n", c.Describe(a))
+	}
+
+	// The dangling-else conflict state (Figure 2, State 10).
+	for _, c := range res.Conflicts() {
+		if g.Name(c.Sym) != "else" {
+			continue
+		}
+		st := a.States[c.State]
+		fmt.Printf("\nThe conflict state (Figure 2's State 10 — ours is state %d):\n", st.ID)
+		for _, it := range st.Items {
+			fmt.Printf("  %s\n", a.ItemWithLookahead(st.ID, it))
+		}
+
+		fmt.Println("\nShortest lookahead-sensitive path (Figure 5(a)):")
+		lines, err := core.DescribePath(res.Table, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, l := range lines {
+			fmt.Println("  " + l)
+		}
+	}
+
+	fmt.Println("\nCounterexamples for all three conflicts:")
+	examples, err := res.FindAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ex := range examples {
+		fmt.Println()
+		fmt.Print(ex.Report(a))
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -1,0 +1,54 @@
+// Quickstart: the smallest end-to-end use of the lrcex API.
+//
+// We define an expression grammar with an undeclared binary operator, ask
+// for its conflicts, and print a counterexample for each — the workflow a
+// grammar author goes through when the parser generator reports a conflict.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrcex"
+)
+
+const src = `
+expr : expr '+' expr
+     | expr '*' expr
+     | '(' expr ')'
+     | 'num'
+     ;
+`
+
+func main() {
+	g, err := lrcex.ParseGrammar("quickstart", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := lrcex.Analyze(g)
+	fmt.Printf("%d states, %d conflicts\n\n", len(res.Automaton.States), len(res.Conflicts()))
+
+	examples, err := res.FindAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ex := range examples {
+		fmt.Print(ex.Report(res.Automaton))
+		fmt.Println()
+	}
+
+	fmt.Println("Fix: declare the operators' precedence, e.g.")
+	fmt.Println("  %left '+'")
+	fmt.Println("  %left '*'")
+
+	fixed := "%left '+'\n%left '*'\n" + src
+	g2, err := lrcex.ParseGrammar("quickstart-fixed", fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2 := lrcex.Analyze(g2)
+	fmt.Printf("\nAfter the fix: %d unresolved conflicts (%d resolved by precedence)\n",
+		len(res2.Conflicts()), len(res2.Table.Resolved))
+}

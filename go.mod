@@ -1,0 +1,3 @@
+module lrcex
+
+go 1.22

@@ -1,0 +1,221 @@
+// Package baseline implements the comparators the paper evaluates against:
+//
+//   - an AMBER/CFGAnalyzer-style bounded ambiguity detector that searches
+//     exhaustively from the start symbol with an incrementally raised length
+//     bound (Section 7.3's parenthesized column compares against the fastest
+//     such tool, a grammar-filtering CFGAnalyzer variant; this package is the
+//     behaviorally equivalent brute-force stand-in, see DESIGN.md), and
+//
+//   - the lookahead-ignoring counterexample construction of prior PPG/CUP2
+//     (Section 7.2), together with a validity checker that demonstrates how
+//     it produces misleading counterexamples.
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"lrcex/internal/grammar"
+)
+
+// AmberOptions bounds the exhaustive search.
+type AmberOptions struct {
+	// MaxLen is the largest sentence length tried (default 12).
+	MaxLen int
+	// Timeout bounds the total search time (default 30 s).
+	Timeout time.Duration
+	// MaxStrings caps the number of distinct strings tracked per nonterminal
+	// and bound before giving up on that bound (default 50000).
+	MaxStrings int
+}
+
+func (o AmberOptions) withDefaults() AmberOptions {
+	if o.MaxLen == 0 {
+		o.MaxLen = 12
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.MaxStrings == 0 {
+		o.MaxStrings = 50000
+	}
+	return o
+}
+
+// AmberResult reports the outcome of the bounded ambiguity search.
+type AmberResult struct {
+	// Ambiguous is true when two distinct derivations of the same terminal
+	// string were found for some reachable nonterminal.
+	Ambiguous bool
+	// Nonterminal is the ambiguous nonterminal (when Ambiguous).
+	Nonterminal grammar.Sym
+	// Sentence is the ambiguous terminal string (when Ambiguous).
+	Sentence []grammar.Sym
+	// Bound is the length bound at which the verdict was reached.
+	Bound int
+	// Exhausted is true when every bound up to MaxLen was fully explored
+	// without finding an ambiguity (no proof of unambiguity — the search is
+	// bounded).
+	Exhausted bool
+	// TimedOut is true when the timeout or string cap stopped the search.
+	TimedOut bool
+	// Elapsed is the total search time.
+	Elapsed time.Duration
+	// Strings counts distinct (nonterminal, string) pairs examined.
+	Strings int
+}
+
+// twoTrees remembers up to two distinct derivation shapes for one string.
+type twoTrees struct {
+	first  string // structural fingerprint of the first derivation
+	second bool   // a distinct second derivation exists
+}
+
+// DetectAmbiguity runs the bounded exhaustive search: for increasing length
+// bounds it computes, for every nonterminal, the set of terminal strings of
+// that length or shorter it derives, keeping two distinct derivation
+// fingerprints per string. Finding a second distinct derivation for a
+// reachable nonterminal proves ambiguity.
+func DetectAmbiguity(g *grammar.Grammar, opts AmberOptions) AmberResult {
+	opts = opts.withDefaults()
+	start := time.Now()
+	deadline := start.Add(opts.Timeout)
+	reachable := g.Reachable()
+
+	res := AmberResult{}
+	for bound := 1; bound <= opts.MaxLen; bound++ {
+		ok, amb := detectAtBound(g, bound, deadline, opts.MaxStrings, reachable, &res)
+		res.Bound = bound
+		if amb {
+			res.Ambiguous = true
+			res.Elapsed = time.Since(start)
+			return res
+		}
+		if !ok {
+			res.TimedOut = true
+			res.Elapsed = time.Since(start)
+			return res
+		}
+	}
+	res.Exhausted = true
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// detectAtBound explores all derivations with yields up to the length bound.
+// It returns ok=false when a limit was hit, amb=true when an ambiguity was
+// found (recorded into res).
+func detectAtBound(g *grammar.Grammar, bound int, deadline time.Time, maxStrings int, reachable []bool, res *AmberResult) (ok, amb bool) {
+	// lang[n] maps a derived terminal string (encoded) to its derivation
+	// fingerprints.
+	lang := make([]map[string]*twoTrees, g.NumSymbols())
+	for s := 0; s < g.NumSymbols(); s++ {
+		if !g.IsTerminal(grammar.Sym(s)) {
+			lang[s] = make(map[string]*twoTrees)
+		}
+	}
+
+	encodeSym := func(s grammar.Sym) string { return string(rune(s + 1)) }
+
+	type cand struct {
+		str  string
+		prnt string // derivation fingerprint
+	}
+
+	// expand computes all (string, fingerprint) pairs for a RHS suffix with a
+	// remaining length budget.
+	var expand func(rhs []grammar.Sym, budget int) []cand
+	expand = func(rhs []grammar.Sym, budget int) []cand {
+		if len(rhs) == 0 {
+			return []cand{{"", ""}}
+		}
+		head, rest := rhs[0], rhs[1:]
+		var headCands []cand
+		if g.IsTerminal(head) {
+			if budget < 1 {
+				return nil
+			}
+			headCands = []cand{{encodeSym(head), encodeSym(head)}}
+		} else {
+			for str, tt := range lang[head] {
+				if len(str) > budget {
+					continue
+				}
+				headCands = append(headCands, cand{str, "(" + g.Name(head) + ":" + tt.first + ")"})
+			}
+		}
+		var out []cand
+		for _, hc := range headCands {
+			for _, rc := range expand(rest, budget-len(hc.str)) {
+				out = append(out, cand{hc.str + rc.str, hc.prnt + rc.prnt})
+			}
+		}
+		return out
+	}
+
+	total := 0
+	for changed := true; changed; {
+		changed = false
+		if time.Now().After(deadline) {
+			return false, false
+		}
+		for _, p := range prodsSorted(g) {
+			for _, c := range expand(p.RHS, bound) {
+				fp := "[" + itoa(p.ID) + "]" + c.prnt
+				tt, seen := lang[p.LHS][c.str]
+				switch {
+				case !seen:
+					lang[p.LHS][c.str] = &twoTrees{first: fp}
+					total++
+					changed = true
+				case tt.first != fp && !tt.second:
+					tt.second = true
+					changed = true
+					if reachable[p.LHS] {
+						res.Nonterminal = p.LHS
+						res.Sentence = decode(c.str)
+						res.Strings = total
+						return true, true
+					}
+				}
+				if total > maxStrings {
+					res.Strings = total
+					return false, false
+				}
+			}
+		}
+	}
+	res.Strings = total
+	return true, false
+}
+
+func prodsSorted(g *grammar.Grammar) []grammar.Production {
+	out := make([]grammar.Production, 0, g.NumProductions())
+	for i := 1; i < g.NumProductions(); i++ { // skip the augmented production
+		out = append(out, g.Production(i))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func decode(s string) []grammar.Sym {
+	var out []grammar.Sym
+	for _, r := range s {
+		out = append(out, grammar.Sym(r-1))
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

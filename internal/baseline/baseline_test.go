@@ -1,0 +1,105 @@
+package baseline_test
+
+import (
+	"testing"
+	"time"
+
+	"lrcex/internal/baseline"
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+func load(t *testing.T, name string) (*grammar.Grammar, *lr.Table) {
+	t.Helper()
+	e, ok := corpus.Get(name)
+	if !ok {
+		t.Fatalf("grammar %q not in corpus", name)
+	}
+	g, err := gdl.Parse(name, e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, lr.BuildTable(lr.Build(g))
+}
+
+func TestAmberFindsFigure1Ambiguity(t *testing.T) {
+	g, _ := load(t, "figure1")
+	res := baseline.DetectAmbiguity(g, baseline.AmberOptions{MaxLen: 10, Timeout: 20 * time.Second})
+	if !res.Ambiguous {
+		t.Fatalf("figure1 not detected ambiguous: %+v", res)
+	}
+	t.Logf("ambiguous %s: %s (bound %d, %v, %d strings)",
+		g.Name(res.Nonterminal), g.SymString(res.Sentence), res.Bound, res.Elapsed, res.Strings)
+}
+
+func TestAmberExhaustsFigure3(t *testing.T) {
+	g, _ := load(t, "figure3")
+	res := baseline.DetectAmbiguity(g, baseline.AmberOptions{MaxLen: 8, Timeout: 20 * time.Second})
+	if res.Ambiguous {
+		t.Fatalf("figure3 wrongly flagged ambiguous: %s derives %s two ways",
+			g.Name(res.Nonterminal), g.SymString(res.Sentence))
+	}
+	if !res.Exhausted {
+		t.Errorf("expected exhaustive exploration up to the bound, got %+v", res)
+	}
+}
+
+func TestAmberFindsFigure7Ambiguity(t *testing.T) {
+	g, _ := load(t, "figure7")
+	res := baseline.DetectAmbiguity(g, baseline.AmberOptions{MaxLen: 10, Timeout: 20 * time.Second})
+	if !res.Ambiguous {
+		t.Fatalf("figure7 not detected ambiguous: %+v", res)
+	}
+}
+
+// TestNaiveMisleadsOnDanglingElse reproduces the Section 7.2 observation:
+// the lookahead-ignoring construction reports, for the dangling-else
+// conflict, the shortest path "if expr then stmt", which is not a valid
+// demonstration of the conflict (at that point the parser is not actually
+// forced into the reduce/shift dilemma on a real derivation of that prefix
+// alone under lookahead else-with-completion).
+func TestNaiveMisleadsOnDanglingElse(t *testing.T) {
+	g, tbl := load(t, "figure1")
+	var conflict *lr.Conflict
+	for i := range tbl.Conflicts {
+		if g.Name(tbl.Conflicts[i].Sym) == "else" {
+			conflict = &tbl.Conflicts[i]
+		}
+	}
+	if conflict == nil {
+		t.Fatal("no dangling-else conflict")
+	}
+	ex := baseline.Naive(tbl, *conflict)
+	if got, want := g.SymString(ex.Prefix), "if expr then stmt"; got != want {
+		t.Errorf("naive prefix = %q, want %q", got, want)
+	}
+	if ex.Valid {
+		t.Errorf("naive counterexample unexpectedly valid: %q", g.SymString(ex.Prefix))
+	}
+}
+
+// TestValidatePrefixAcceptsRealPath: the true counterexample prefix from the
+// lookahead-sensitive path must validate.
+func TestValidatePrefixAcceptsRealPath(t *testing.T) {
+	g, tbl := load(t, "figure1")
+	var conflict *lr.Conflict
+	for i := range tbl.Conflicts {
+		if g.Name(tbl.Conflicts[i].Sym) == "else" {
+			conflict = &tbl.Conflicts[i]
+		}
+	}
+	words := []string{"if", "expr", "then", "if", "expr", "then", "stmt"}
+	syms := make([]grammar.Sym, len(words))
+	for i, w := range words {
+		s, ok := g.Lookup(w)
+		if !ok {
+			t.Fatalf("symbol %q missing", w)
+		}
+		syms[i] = s
+	}
+	if !baseline.ValidatePrefix(tbl.A, *conflict, syms) {
+		t.Errorf("true dangling-else prefix rejected")
+	}
+}

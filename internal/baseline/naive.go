@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// NaiveExample is a counterexample produced the way prior versions of PPG
+// and CUP2 produced them (Section 7.2): the shortest path to the conflict
+// state in the plain parser state diagram, ignoring lookahead symbols.
+type NaiveExample struct {
+	Conflict lr.Conflict
+	// Prefix is the symbol sequence of the shortest path to the conflict
+	// state.
+	Prefix []grammar.Sym
+	// After1 is the reduce-side continuation the naive algorithm prints: the
+	// conflict terminal itself.
+	After1 []grammar.Sym
+	// After2 is the shift-side continuation: the rest of the shift item.
+	After2 []grammar.Sym
+	// Valid records whether the reduce-side string is actually consistent
+	// with lookahead: whether some lookahead-sensitive path spells Prefix and
+	// reaches the conflict reduce item with the conflict terminal in its
+	// precise lookahead set. Prior PPG did not check this, which is exactly
+	// why its counterexamples can mislead.
+	Valid bool
+}
+
+// Naive builds the lookahead-ignoring counterexample for a conflict and
+// validates it with the lookahead-sensitive machinery.
+func Naive(tbl *lr.Table, c lr.Conflict) NaiveExample {
+	a := tbl.A
+	g := a.G
+	prefix := shortestStatePath(a, c.State)
+	ex := NaiveExample{
+		Conflict: c,
+		Prefix:   prefix,
+		After1:   []grammar.Sym{c.Sym},
+	}
+	it2 := c.Item2
+	if c.Kind == lr.ShiftReduce {
+		ex.After2 = g.Production(a.Prod(it2)).RHS[a.Dot(it2):]
+	} else {
+		ex.After2 = []grammar.Sym{c.Sym}
+	}
+	ex.Valid = ValidatePrefix(a, c, prefix)
+	return ex
+}
+
+// shortestStatePath returns the symbol sequence of a shortest transition
+// path from the start state to the target state, ignoring items and
+// lookahead entirely — the prior-PPG construction.
+func shortestStatePath(a *lr.Automaton, target int) []grammar.Sym {
+	type edge struct {
+		prev int
+		sym  grammar.Sym
+	}
+	parent := make(map[int]edge, len(a.States))
+	parent[0] = edge{prev: -1}
+	queue := []int{0}
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		if s == target {
+			break
+		}
+		st := a.States[s]
+		for _, sym := range sortedSyms(st.Trans) {
+			t := st.Trans[sym]
+			if _, seen := parent[t]; !seen {
+				parent[t] = edge{prev: s, sym: sym}
+				queue = append(queue, t)
+			}
+		}
+	}
+	var rev []grammar.Sym
+	for s := target; s != 0; {
+		e, ok := parent[s]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, e.sym)
+		s = e.prev
+	}
+	out := make([]grammar.Sym, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+func sortedSyms(m map[grammar.Sym]int) []grammar.Sym {
+	out := make([]grammar.Sym, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ValidatePrefix reports whether some lookahead-sensitive path from the
+// start item spells exactly prefix, ends at the conflict reduce item, and
+// has the conflict terminal in its precise lookahead set — i.e. whether the
+// naive counterexample actually demonstrates the conflict. It simulates the
+// lookahead-sensitive graph of Section 4 restricted to the given symbols.
+func ValidatePrefix(a *lr.Automaton, c lr.Conflict, prefix []grammar.Sym) bool {
+	g := a.G
+	type vkey struct {
+		state int
+		item  lr.Item
+		la    int
+		pos   int
+	}
+	interner := grammar.NewTermSetInterner()
+	eof := grammar.NewTermSet(g.NumTerminals())
+	eof.Add(g.TermIndex(grammar.EOF))
+
+	root := vkey{0, a.StartItem(), interner.Intern(eof), 0}
+	visited := map[vkey]bool{root: true}
+	queue := []vkey{root}
+	tIdx := g.TermIndex(c.Sym)
+
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if v.pos == len(prefix) && v.state == c.State && v.item == c.Item1 {
+			if interner.Get(v.la).Has(tIdx) {
+				return true
+			}
+		}
+		st := a.States[v.state]
+		la := interner.Get(v.la)
+		push := func(k vkey) {
+			if !visited[k] {
+				visited[k] = true
+				queue = append(queue, k)
+			}
+		}
+		// Transition on the next prefix symbol.
+		if v.pos < len(prefix) && a.DotSym(v.item) == prefix[v.pos] {
+			if t, ok := st.Trans[prefix[v.pos]]; ok {
+				push(vkey{t, v.item + 1, v.la, v.pos + 1})
+			}
+		}
+		// Production steps within the state.
+		if x := a.DotSym(v.item); x != grammar.NoSym && !g.IsTerminal(x) {
+			follow := g.FollowL(a.Prod(v.item), a.Dot(v.item), la)
+			fid := interner.Intern(follow)
+			for _, pid := range g.ProductionsOf(x) {
+				if _, ok := st.HasItem(a.ItemOf(pid, 0)); ok {
+					push(vkey{v.state, a.ItemOf(pid, 0), fid, v.pos})
+				}
+			}
+		}
+	}
+	return false
+}

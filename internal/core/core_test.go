@@ -1,0 +1,251 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+func build(t *testing.T, name string) (*grammar.Grammar, *lr.Table) {
+	t.Helper()
+	e, ok := corpus.Get(name)
+	if !ok {
+		t.Fatalf("corpus grammar %q not found", name)
+	}
+	g, err := gdl.Parse(name, e.Source)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	return g, lr.BuildTable(lr.Build(g))
+}
+
+func findAll(t *testing.T, tbl *lr.Table) []*core.Example {
+	t.Helper()
+	f := core.NewFinder(tbl, core.Options{PerConflictTimeout: 5 * time.Second})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatalf("FindAll: %v", err)
+	}
+	return exs
+}
+
+// checkDeriv validates that a derivation tree is structurally consistent
+// with the grammar: every interior node's children spell its production.
+func checkDeriv(t *testing.T, g *grammar.Grammar, d *core.Deriv) {
+	t.Helper()
+	if d.Prod < 0 {
+		return
+	}
+	p := g.Production(d.Prod)
+	if p.LHS != d.Sym {
+		t.Errorf("derivation node %s built by production of %s", g.Name(d.Sym), g.Name(p.LHS))
+	}
+	if len(p.RHS) != len(d.Children) {
+		t.Fatalf("node %s: %d children for production %s", g.Name(d.Sym), len(d.Children), g.ProdString(d.Prod))
+	}
+	for i, c := range d.Children {
+		if c.Sym != p.RHS[i] {
+			t.Errorf("node %s child %d: got %s, want %s", g.Name(d.Sym), i, g.Name(c.Sym), g.Name(p.RHS[i]))
+		}
+		checkDeriv(t, g, c)
+	}
+}
+
+// checkUnifying validates the fundamental properties of a unifying
+// counterexample: two structurally distinct, grammar-consistent derivations
+// of the same nonterminal with identical yields, and the conflict symbol
+// right after the dot.
+func checkUnifying(t *testing.T, g *grammar.Grammar, ex *core.Example) {
+	t.Helper()
+	if ex.Kind != core.Unifying {
+		t.Fatalf("kind = %v, want unifying", ex.Kind)
+	}
+	if ex.Deriv1.Equal(ex.Deriv2) {
+		t.Error("the two derivations are identical")
+	}
+	if ex.Deriv1.Sym != ex.Nonterminal || ex.Deriv2.Sym != ex.Nonterminal {
+		t.Errorf("derivation roots %s/%s differ from nonterminal %s",
+			g.Name(ex.Deriv1.Sym), g.Name(ex.Deriv2.Sym), g.Name(ex.Nonterminal))
+	}
+	checkDeriv(t, g, ex.Deriv1)
+	checkDeriv(t, g, ex.Deriv2)
+	y1 := ex.Deriv1.Yield(nil)
+	y2 := ex.Deriv2.Yield(nil)
+	if g.SymString(y1) != g.SymString(y2) {
+		t.Errorf("yields differ:\n  %s\n  %s", g.SymString(y1), g.SymString(y2))
+	}
+	if g.SymString(y1) != g.SymString(ex.Syms) {
+		t.Errorf("Syms %q != yield %q", g.SymString(ex.Syms), g.SymString(y1))
+	}
+	if ex.Dot < 0 || ex.Dot > len(ex.Syms) {
+		t.Fatalf("dot %d out of range for %q", ex.Dot, g.SymString(ex.Syms))
+	}
+	// The conflict terminal must be derivable first after the dot — or the
+	// whole remainder must be nullable (the terminal then belongs to the
+	// follow context, as for reduce/reduce conflicts on statement
+	// separators).
+	if !canBeginWith(g, ex.Syms[ex.Dot:], ex.Conflict.Sym) {
+		t.Errorf("remainder %q after the dot cannot begin with conflict symbol %s",
+			g.SymString(ex.Syms[ex.Dot:]), g.Name(ex.Conflict.Sym))
+	}
+}
+
+// canBeginWith reports whether the symbol sequence can derive a string
+// beginning with t, or is entirely nullable.
+func canBeginWith(g *grammar.Grammar, syms []grammar.Sym, t grammar.Sym) bool {
+	for _, s := range syms {
+		if s == t || g.First(s).Has(g.TermIndex(t)) {
+			return true
+		}
+		if !g.Nullable(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFigure1DanglingElse pins the classic unifying counterexample:
+// if expr then if expr then stmt • else stmt.
+func TestFigure1DanglingElse(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	exs := findAll(t, tbl)
+	var ex *core.Example
+	for _, e := range exs {
+		if g.Name(e.Conflict.Sym) == "else" {
+			ex = e
+		}
+	}
+	if ex == nil {
+		t.Fatal("no example for the dangling-else conflict")
+	}
+	checkUnifying(t, g, ex)
+	if got := g.Name(ex.Nonterminal); got != "stmt" {
+		t.Errorf("unifying nonterminal = %s, want stmt", got)
+	}
+	want := "if expr then if expr then stmt else stmt"
+	if got := g.SymString(ex.Syms); got != want {
+		t.Errorf("counterexample = %q, want %q", got, want)
+	}
+	if ex.Dot != 7 {
+		t.Errorf("dot = %d, want 7 (before else)", ex.Dot)
+	}
+}
+
+// TestFigure1PlusConflict pins the Figure 11 example:
+// expr + expr • + expr for nonterminal expr.
+func TestFigure1PlusConflict(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	exs := findAll(t, tbl)
+	var ex *core.Example
+	for _, e := range exs {
+		if g.Name(e.Conflict.Sym) == "+" {
+			ex = e
+		}
+	}
+	if ex == nil {
+		t.Fatal("no example for the + conflict")
+	}
+	checkUnifying(t, g, ex)
+	if got := g.Name(ex.Nonterminal); got != "expr" {
+		t.Errorf("unifying nonterminal = %s, want expr", got)
+	}
+	want := "expr + expr + expr"
+	if got := g.SymString(ex.Syms); got != want {
+		t.Errorf("counterexample = %q, want %q", got, want)
+	}
+	if ex.Dot != 3 {
+		t.Errorf("dot = %d, want 3", ex.Dot)
+	}
+}
+
+// TestFigure1ChallengingConflict checks the Section 3.1 conflict (digit)
+// gets a valid unifying counterexample rooted at stmt.
+func TestFigure1ChallengingConflict(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	exs := findAll(t, tbl)
+	var ex *core.Example
+	for _, e := range exs {
+		if g.Name(e.Conflict.Sym) == "digit" {
+			ex = e
+		}
+	}
+	if ex == nil {
+		t.Fatal("no example for the digit conflict")
+	}
+	checkUnifying(t, g, ex)
+	t.Logf("challenging conflict example: %s", g.SymString(ex.Syms))
+	t.Logf("  dot at %d, nonterminal %s", ex.Dot, g.Name(ex.Nonterminal))
+}
+
+// TestFigure3Nonunifying: the LR(2) grammar is unambiguous, so the search
+// must exhaust (not time out) and report a nonunifying counterexample whose
+// two continuations both start with the conflict terminal a.
+func TestFigure3Nonunifying(t *testing.T) {
+	g, tbl := build(t, "figure3")
+	exs := findAll(t, tbl)
+	if len(exs) != 1 {
+		t.Fatalf("examples = %d, want 1", len(exs))
+	}
+	ex := exs[0]
+	if ex.Kind != core.NonunifyingExhausted {
+		t.Errorf("kind = %v, want nonunifying (exhausted)", ex.Kind)
+	}
+	if len(ex.After1) == 0 || g.Name(ex.After1[0]) != "a" {
+		t.Errorf("reduce-side continuation %q does not start with a", g.SymString(ex.After1))
+	}
+	if len(ex.After2) == 0 || g.Name(ex.After2[0]) != "a" {
+		t.Errorf("shift-side continuation %q does not start with a", g.SymString(ex.After2))
+	}
+}
+
+// TestFigure7BothUnifying: both conflicts of Figure 7 must get unifying
+// counterexamples; the one using the second shift item needs context beyond
+// the shortest-path prefix (n n a • b d c).
+func TestFigure7BothUnifying(t *testing.T) {
+	g, tbl := build(t, "figure7")
+	exs := findAll(t, tbl)
+	if len(exs) != 2 {
+		t.Fatalf("examples = %d, want 2", len(exs))
+	}
+	for _, ex := range exs {
+		checkUnifying(t, g, ex)
+		t.Logf("conflict on %s: %s (dot %d, nonterminal %s)",
+			g.Name(ex.Conflict.Sym), g.SymString(ex.Syms), ex.Dot, g.Name(ex.Nonterminal))
+	}
+}
+
+// TestFigure11Report pins the error-message shape of Figure 11.
+func TestFigure11Report(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	exs := findAll(t, tbl)
+	var ex *core.Example
+	for _, e := range exs {
+		if g.Name(e.Conflict.Sym) == "+" {
+			ex = e
+		}
+	}
+	if ex == nil {
+		t.Fatal("no + example")
+	}
+	rep := ex.Report(tbl.A)
+	for _, want := range []string{
+		"Shift/Reduce conflict found in state #",
+		"between reduction on expr ::= expr + expr •",
+		"and shift on expr ::= expr • + expr",
+		"under symbol +",
+		"Ambiguity detected for nonterminal expr",
+		"Example: expr + expr • + expr",
+		"Derivation using reduction:",
+		"Derivation using shift:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q\nreport:\n%s", want, rep)
+		}
+	}
+}

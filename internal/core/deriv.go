@@ -1,0 +1,119 @@
+// Package core implements the counterexample-finding algorithm of
+// Isradisaikul & Myers, "Finding Counterexamples from Parsing Conflicts"
+// (PLDI 2015): the shortest lookahead-sensitive path search that yields
+// nonunifying counterexamples (Section 4), and the product-parser outward
+// search that yields unifying counterexamples for ambiguities (Section 5),
+// with the practical controls of Section 6 (time limits, shortest-path
+// restriction, precedence awareness).
+package core
+
+import (
+	"strings"
+
+	"lrcex/internal/grammar"
+)
+
+// Deriv is a partial derivation tree. A leaf (Prod == -1) stands for a bare
+// grammar symbol — terminal, or a nonterminal left unexpanded because its
+// internal structure is irrelevant to the conflict (Section 3.2: good
+// counterexamples are no more concrete than necessary). An interior node
+// records the production applied.
+type Deriv struct {
+	Sym      grammar.Sym
+	Prod     int
+	Children []*Deriv
+}
+
+// leaf returns a leaf derivation of sym.
+func leaf(sym grammar.Sym) *Deriv { return &Deriv{Sym: sym, Prod: -1} }
+
+// Yield appends the leaf symbols to dst and returns it.
+func (d *Deriv) Yield(dst []grammar.Sym) []grammar.Sym {
+	if d.Prod < 0 {
+		return append(dst, d.Sym)
+	}
+	for _, c := range d.Children {
+		dst = c.Yield(dst)
+	}
+	return dst
+}
+
+// YieldLen returns the number of leaves.
+func (d *Deriv) YieldLen() int {
+	if d.Prod < 0 {
+		return 1
+	}
+	n := 0
+	for _, c := range d.Children {
+		n += c.YieldLen()
+	}
+	return n
+}
+
+// Equal reports structural equality.
+func (d *Deriv) Equal(o *Deriv) bool {
+	if d.Sym != o.Sym || d.Prod != o.Prod || len(d.Children) != len(o.Children) {
+		return false
+	}
+	for i := range d.Children {
+		if !d.Children[i].Equal(o.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the derivation in the paper's Figure 11 style:
+//
+//	expr ::= [expr ::= [expr PLUS expr •] PLUS expr]
+//
+// A dot is inserted after dotAfter leaves when dotAfter >= 0 (pass -1 for no
+// dot). g supplies symbol names.
+func (d *Deriv) Format(g *grammar.Grammar, dotAfter int) string {
+	var sb strings.Builder
+	if dotAfter == 0 {
+		sb.WriteString("• ")
+		dotAfter = -1
+	}
+	emitted := 0
+	d.format(g, &sb, dotAfter, &emitted)
+	return sb.String()
+}
+
+func (d *Deriv) format(g *grammar.Grammar, sb *strings.Builder, dotAfter int, emitted *int) {
+	if d.Prod < 0 {
+		sb.WriteString(g.Name(d.Sym))
+		*emitted++
+		// The dot sits immediately after the dotAfter-th leaf, inside the
+		// innermost enclosing bracket, as in Figure 11.
+		if *emitted == dotAfter {
+			sb.WriteString(" •")
+		}
+		return
+	}
+	sb.WriteString(g.Name(d.Sym))
+	sb.WriteString(" ::= [")
+	for i, c := range d.Children {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		c.format(g, sb, dotAfter, emitted)
+	}
+	sb.WriteByte(']')
+}
+
+// yieldString renders a symbol sequence with an optional • after dot leaves
+// (dot == -1 means no dot; dot == len means trailing dot).
+func yieldString(g *grammar.Grammar, syms []grammar.Sym, dot int) string {
+	var parts []string
+	for i, s := range syms {
+		if i == dot {
+			parts = append(parts, "•")
+		}
+		parts = append(parts, g.Name(s))
+	}
+	if dot == len(syms) {
+		parts = append(parts, "•")
+	}
+	return strings.Join(parts, " ")
+}

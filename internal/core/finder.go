@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// Options configures the counterexample finder. The zero value selects the
+// defaults the paper's implementation uses (Section 6).
+type Options struct {
+	// PerConflictTimeout bounds the unifying search per conflict
+	// (default 5 s).
+	PerConflictTimeout time.Duration
+	// CumulativeTimeout bounds the total time spent in the unifying search
+	// across all conflicts of a grammar; afterwards only nonunifying
+	// counterexamples are sought (default 2 min).
+	CumulativeTimeout time.Duration
+	// ExtendedSearch lifts the restriction of reverse transitions to states
+	// on the shortest lookahead-sensitive path (the -extendedsearch flag).
+	ExtendedSearch bool
+	// MaxConfigs bounds the number of configurations expanded per conflict
+	// (0 = unlimited); a memory safety valve absent from the paper.
+	MaxConfigs int
+	// Costs is the action cost model (zero value = DefaultCosts).
+	Costs CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.PerConflictTimeout == 0 {
+		o.PerConflictTimeout = 5 * time.Second
+	}
+	if o.CumulativeTimeout == 0 {
+		o.CumulativeTimeout = 2 * time.Minute
+	}
+	o.Costs = o.Costs.withDefaults()
+	return o
+}
+
+// ExampleKind classifies the outcome for one conflict.
+type ExampleKind int
+
+const (
+	// Unifying: a single string with two distinct derivations was found; the
+	// grammar is ambiguous.
+	Unifying ExampleKind = iota
+	// NonunifyingExhausted: the (possibly restricted) unifying search space
+	// was exhausted without success, so a nonunifying counterexample is
+	// reported. With ExtendedSearch this proves no unifying counterexample
+	// exists for this conflict.
+	NonunifyingExhausted
+	// NonunifyingTimeout: the unifying search hit its time or configuration
+	// limit; a nonunifying counterexample is reported instead.
+	NonunifyingTimeout
+	// NonunifyingSkipped: the cumulative budget was spent on earlier
+	// conflicts, so only the nonunifying construction ran.
+	NonunifyingSkipped
+)
+
+func (k ExampleKind) String() string {
+	switch k {
+	case Unifying:
+		return "unifying"
+	case NonunifyingExhausted:
+		return "nonunifying"
+	case NonunifyingTimeout:
+		return "nonunifying (timeout)"
+	case NonunifyingSkipped:
+		return "nonunifying (skipped)"
+	default:
+		return fmt.Sprintf("ExampleKind(%d)", int(k))
+	}
+}
+
+// IsUnifying reports whether the outcome is a unifying counterexample.
+func (k ExampleKind) IsUnifying() bool { return k == Unifying }
+
+// Example is the counterexample found for one conflict.
+type Example struct {
+	Conflict lr.Conflict
+	Kind     ExampleKind
+
+	// Unifying outcome: Nonterminal is the ambiguous nonterminal, Syms the
+	// counterexample string (a sentential form), Dot the conflict position
+	// within it, and Deriv1/Deriv2 the two derivations (Deriv1 uses the
+	// reduce item).
+	Nonterminal grammar.Sym
+	Syms        []grammar.Sym
+	Dot         int
+	Deriv1      *Deriv
+	Deriv2      *Deriv
+
+	// Nonunifying outcome: a shared prefix and the two continuations
+	// (After1 follows the reduce item, After2 the other conflict item).
+	Prefix []grammar.Sym
+	After1 []grammar.Sym
+	After2 []grammar.Sym
+
+	// Elapsed is the wall-clock time spent on this conflict; Expanded the
+	// number of configurations the unifying search expanded.
+	Elapsed  time.Duration
+	Expanded int
+}
+
+// Finder finds counterexamples for the conflicts of one grammar. It builds
+// the state-item lookup tables once (Section 6, "Data structures") and keeps
+// the cumulative-time bookkeeping across conflicts.
+type Finder struct {
+	tbl   *lr.Table
+	g     *graph
+	opts  Options
+	spent time.Duration
+}
+
+// NewFinder returns a Finder over the table's automaton.
+func NewFinder(tbl *lr.Table, opts Options) *Finder {
+	return &Finder{tbl: tbl, g: newGraph(tbl.A), opts: opts.withDefaults()}
+}
+
+// Table returns the parse table the finder analyzes.
+func (f *Finder) Table() *lr.Table { return f.tbl }
+
+// FindAll returns one counterexample per unresolved conflict, in conflict
+// order.
+func (f *Finder) FindAll() ([]*Example, error) {
+	out := make([]*Example, 0, len(f.tbl.Conflicts))
+	for _, c := range f.tbl.Conflicts {
+		ex, err := f.Find(c)
+		if err != nil {
+			return out, fmt.Errorf("conflict in state %d under %s: %w", c.State, f.tbl.A.G.Name(c.Sym), err)
+		}
+		out = append(out, ex)
+	}
+	return out, nil
+}
+
+// Find constructs a counterexample for one conflict: first the shortest
+// lookahead-sensitive path (Section 4), then — within the time budget — the
+// unifying search (Section 5), falling back to the nonunifying counterexample
+// assembled from the path.
+func (f *Finder) Find(c lr.Conflict) (*Example, error) {
+	start := time.Now()
+	a := f.tbl.A
+
+	conflictNode, ok := f.g.lookup(c.State, c.Item1)
+	if !ok {
+		return nil, fmt.Errorf("core: conflict reduce item not in state %d", c.State)
+	}
+	path, err := shortestLookaheadSensitivePath(f.g, conflictNode, c.Sym)
+	if err != nil {
+		return nil, err
+	}
+
+	ex := &Example{Conflict: c}
+
+	skipUnifying := f.spent >= f.opts.CumulativeTimeout
+	if !skipUnifying {
+		var allowed []bool
+		if !f.opts.ExtendedSearch {
+			allowed = make([]bool, len(a.States))
+			for _, s := range path.states(f.g) {
+				allowed[s] = true
+			}
+		}
+		deadline := start.Add(f.opts.PerConflictTimeout)
+		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, deadline, f.opts.MaxConfigs)
+		res := search.run()
+		ex.Expanded = search.Expanded
+		if res != nil {
+			ex.Kind = Unifying
+			ex.Nonterminal = res.nonterminal
+			ex.Syms = res.deriv1.Yield(nil)
+			ex.Dot = res.dot
+			ex.Deriv1 = res.deriv1
+			ex.Deriv2 = res.deriv2
+			ex.Elapsed = time.Since(start)
+			f.spent += ex.Elapsed
+			return ex, nil
+		}
+		if search.TimedOut || search.Capped {
+			ex.Kind = NonunifyingTimeout
+		} else {
+			ex.Kind = NonunifyingExhausted
+		}
+	} else {
+		ex.Kind = NonunifyingSkipped
+	}
+
+	nu, err := buildNonunifying(f.g, c, path)
+	if err != nil {
+		return nil, err
+	}
+	ex.Prefix = nu.prefix
+	ex.After1 = nu.after1
+	ex.After2 = nu.after2
+	ex.Elapsed = time.Since(start)
+	f.spent += ex.Elapsed
+	return ex, nil
+}

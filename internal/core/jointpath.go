@@ -1,0 +1,129 @@
+package core
+
+import (
+	"lrcex/internal/grammar"
+)
+
+// jointPath finds, for a reduce/reduce conflict, a single transition prefix
+// under which BOTH reduce items carry the conflict terminal in their precise
+// lookahead sets. The two derivations share every transition but may take
+// different production steps, so this is a breadth-first search over pairs
+// of lookahead-sensitive vertices — the nonunifying analog of the product
+// parser. (A single-item shortest path is not enough: the fuzzer found
+// grammars where item1's shortest lookahead-sensitive prefix admits no
+// derivation of item2 with the conflict terminal, because the two items'
+// lookaheads reach the merged LALR state through different contexts.)
+func jointPath(g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym, rem1, rem2 [][]grammar.Sym, ok bool) {
+	a := g.a
+	gr := a.G
+	tIdx := gr.TermIndex(t)
+
+	elig1 := g.reverseReachable(node1)
+	elig2 := g.reverseReachable(node2)
+
+	interner := grammar.NewTermSetInterner()
+	eof := grammar.NewTermSet(gr.NumTerminals())
+	eof.Add(gr.TermIndex(grammar.EOF))
+	eofID := interner.Intern(eof)
+
+	type vkey struct {
+		n1, n2   node
+		la1, la2 int
+	}
+	type entry struct {
+		key    vkey
+		parent int
+		// sym is the joint transition symbol, or NoSym for production steps;
+		// side marks which side stepped (1 or 2), 0 for transitions.
+		sym  grammar.Sym
+		side int
+	}
+	startNode, found := g.lookup(0, a.StartItem())
+	if !found {
+		return nil, nil, nil, false
+	}
+	root := vkey{startNode, startNode, eofID, eofID}
+	visited := map[vkey]bool{root: true}
+	order := []entry{{key: root, parent: -1, sym: grammar.NoSym}}
+	goal := -1
+	for head := 0; head < len(order) && goal < 0; head++ {
+		cur := order[head]
+		k := cur.key
+		if k.n1 == node1 && k.n2 == node2 &&
+			interner.Get(k.la1).Has(tIdx) && interner.Get(k.la2).Has(tIdx) {
+			goal = head
+			break
+		}
+		push := func(nk vkey, sym grammar.Sym, side int) {
+			if visited[nk] {
+				return
+			}
+			visited[nk] = true
+			order = append(order, entry{key: nk, parent: head, sym: sym, side: side})
+		}
+		d1, d2 := g.dotSym(k.n1), g.dotSym(k.n2)
+		// Joint transition: both sides move on the same symbol.
+		if d1 != grammar.NoSym && d1 == d2 {
+			m1, m2 := g.fwdTrans[k.n1], g.fwdTrans[k.n2]
+			if m1 != noNode && m2 != noNode && elig1[m1] && elig2[m2] {
+				push(vkey{m1, m2, k.la1, k.la2}, d1, 0)
+			}
+		}
+		// Production steps on either side.
+		if d1 != grammar.NoSym && !gr.IsTerminal(d1) {
+			it := g.itemOf(k.n1)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(k.la1))
+			fid := interner.Intern(follow)
+			for _, m := range g.prodSteps[k.n1] {
+				if elig1[m] {
+					push(vkey{m, k.n2, fid, k.la2}, grammar.NoSym, 1)
+				}
+			}
+		}
+		if d2 != grammar.NoSym && !gr.IsTerminal(d2) {
+			it := g.itemOf(k.n2)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(k.la2))
+			fid := interner.Intern(follow)
+			for _, m := range g.prodSteps[k.n2] {
+				if elig2[m] {
+					push(vkey{k.n1, m, k.la1, fid}, grammar.NoSym, 2)
+				}
+			}
+		}
+	}
+	if goal < 0 {
+		return nil, nil, nil, false
+	}
+
+	// Replay the chain, tracking each side's suspension stack.
+	var chain []entry
+	for i := goal; i >= 0; i = order[i].parent {
+		chain = append(chain, order[i])
+	}
+	type susp struct{ prod, dot int }
+	var stack1, stack2 []susp
+	cur1, cur2 := g.itemOf(startNode), g.itemOf(startNode)
+	for i := len(chain) - 2; i >= 0; i-- {
+		e := chain[i]
+		switch {
+		case e.sym != grammar.NoSym:
+			prefix = append(prefix, e.sym)
+			cur1, cur2 = cur1+1, cur2+1
+		case e.side == 1:
+			stack1 = append(stack1, susp{a.Prod(cur1), a.Dot(cur1)})
+			cur1 = g.itemOf(e.key.n1)
+		default:
+			stack2 = append(stack2, susp{a.Prod(cur2), a.Dot(cur2)})
+			cur2 = g.itemOf(e.key.n2)
+		}
+	}
+	remaindersOf := func(stack []susp) [][]grammar.Sym {
+		var out [][]grammar.Sym
+		for i := len(stack) - 1; i >= 0; i-- {
+			rhs := gr.Production(stack[i].prod).RHS
+			out = append(out, rhs[stack[i].dot+1:])
+		}
+		return out
+	}
+	return prefix, remaindersOf(stack1), remaindersOf(stack2), true
+}

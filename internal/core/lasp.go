@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// laspStep is one edge on a lookahead-sensitive path: a transition on Sym,
+// or a production step (Sym == grammar.NoSym). Node is the vertex reached.
+type laspStep struct {
+	Node node
+	Sym  grammar.Sym // transition symbol, or NoSym for a production step
+	LA   int         // interned precise-lookahead handle at Node
+}
+
+// laspPath is a shortest lookahead-sensitive path from the start item to the
+// conflict reduce item.
+type laspPath struct {
+	steps []laspStep // steps[0] is the start vertex (Sym == NoSym, meaningless)
+}
+
+// states returns the parser state visited after each transition, starting
+// with the start state: the sequence [s0, s1, ..., sk] of Section 4 (Fig. 5
+// uses [0, 6, 7, 9, 6, 7, 9, 10] for the dangling else).
+func (p *laspPath) states(g *graph) []int {
+	out := []int{0}
+	for _, st := range p.steps[1:] {
+		if st.Sym != grammar.NoSym {
+			out = append(out, g.stateOf(st.Node))
+		}
+	}
+	return out
+}
+
+// transitionSyms returns the symbols of the transition edges, in order: the
+// prefix of the counterexample.
+func (p *laspPath) transitionSyms() []grammar.Sym {
+	var out []grammar.Sym
+	for _, st := range p.steps[1:] {
+		if st.Sym != grammar.NoSym {
+			out = append(out, st.Sym)
+		}
+	}
+	return out
+}
+
+// pendingRemainders returns, for each production step on the path that is
+// still unfinished at the end, the remainder symbols after the nonterminal
+// being expanded, innermost first. Completing the counterexample appends
+// derivations of these remainders (Section 4, "completing all the
+// productions made on the shortest lookahead-sensitive path").
+func (p *laspPath) pendingRemainders(g *graph) [][]grammar.Sym {
+	a := g.a
+	gr := a.G
+	// Replay the path, maintaining the stack of suspended items.
+	type susp struct{ prod, dot int }
+	var stack []susp
+	var cur lr.Item = g.itemOf(p.steps[0].Node)
+	for _, st := range p.steps[1:] {
+		if st.Sym == grammar.NoSym {
+			stack = append(stack, susp{a.Prod(cur), a.Dot(cur)})
+			cur = g.itemOf(st.Node)
+		} else {
+			cur = cur + 1 // transition advances the dot
+		}
+	}
+	var out [][]grammar.Sym
+	for i := len(stack) - 1; i >= 0; i-- {
+		rhs := gr.Production(stack[i].prod).RHS
+		out = append(out, rhs[stack[i].dot+1:])
+	}
+	return out
+}
+
+// errUnreachableConflict reports an internal inconsistency: no
+// lookahead-sensitive path reaches the conflict item with the conflict
+// terminal (should be impossible for conflicts found by the table builder).
+var errUnreachableConflict = errors.New("core: conflict item unreachable on any lookahead-sensitive path")
+
+// shortestLookaheadSensitivePath finds a shortest path in the
+// lookahead-sensitive graph from (start state, start item, {$}) to
+// (conflict state, conflict reduce item, L) with the conflict terminal in L.
+// All edges have unit weight, so breadth-first search finds a shortest path.
+// Only vertices whose node can reach the conflict node are expanded
+// (Section 6's optimization).
+func shortestLookaheadSensitivePath(g *graph, conflictNode node, conflictTerm grammar.Sym) (*laspPath, error) {
+	a := g.a
+	gr := a.G
+	tIdx := gr.TermIndex(conflictTerm)
+
+	eligible := g.reverseReachable(conflictNode)
+
+	interner := grammar.NewTermSetInterner()
+	eof := grammar.NewTermSet(gr.NumTerminals())
+	eof.Add(gr.TermIndex(grammar.EOF))
+
+	type vkey struct {
+		n  node
+		la int
+	}
+	type entry struct {
+		key    vkey
+		parent int // index into order, -1 for the root
+		sym    grammar.Sym
+	}
+	startNode, ok := g.lookup(0, a.StartItem())
+	if !ok {
+		return nil, errUnreachableConflict
+	}
+	root := vkey{startNode, interner.Intern(eof)}
+	visited := map[vkey]bool{root: true}
+	order := []entry{{key: root, parent: -1, sym: grammar.NoSym}}
+
+	found := -1
+	for head := 0; head < len(order) && found < 0; head++ {
+		cur := order[head]
+		n, laID := cur.key.n, cur.key.la
+		la := interner.Get(laID)
+
+		if n == conflictNode && la.Has(tIdx) {
+			found = head
+			break
+		}
+
+		push := func(m node, mla int, sym grammar.Sym) {
+			if !eligible[m] {
+				return
+			}
+			k := vkey{m, mla}
+			if visited[k] {
+				return
+			}
+			visited[k] = true
+			order = append(order, entry{key: k, parent: head, sym: sym})
+		}
+
+		// Transition edge: preserve the precise lookahead set.
+		if m := g.fwdTrans[n]; m != noNode {
+			push(m, laID, g.dotSym(n))
+		}
+		// Production steps: lookahead becomes followL(item).
+		if steps := g.prodSteps[n]; len(steps) > 0 {
+			it := g.itemOf(n)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), la)
+			fid := interner.Intern(follow)
+			for _, m := range steps {
+				push(m, fid, grammar.NoSym)
+			}
+		}
+	}
+	if found < 0 {
+		return nil, errUnreachableConflict
+	}
+
+	// Reconstruct.
+	var rev []laspStep
+	for i := found; i >= 0; i = order[i].parent {
+		rev = append(rev, laspStep{Node: order[i].key.n, Sym: order[i].sym, LA: order[i].key.la})
+	}
+	p := &laspPath{steps: make([]laspStep, 0, len(rev))}
+	for i := len(rev) - 1; i >= 0; i-- {
+		p.steps = append(p.steps, rev[i])
+	}
+	return p, nil
+}
+
+// completeStartingWith expands the pending remainders so that the first
+// derived terminal is exactly t: nullable leading nonterminals that cannot
+// start with t derive ε (and are dropped), and the first symbol that can
+// start with t is expanded minimally down to t; everything after is kept
+// abstract (Section 3.2: no more concrete than necessary). It returns nil
+// and false if t cannot come first (possible only when t is EOF and the
+// remainders are all nullable, in which case the empty completion is valid).
+func completeStartingWith(gr *grammar.Grammar, remainders [][]grammar.Sym, t grammar.Sym) ([]grammar.Sym, bool) {
+	var out []grammar.Sym
+	need := true
+	for _, rem := range remainders {
+		for i, x := range rem {
+			if !need {
+				out = append(out, rem[i:]...)
+				break
+			}
+			if gr.IsTerminal(x) {
+				if x != t {
+					return nil, false
+				}
+				out = append(out, rem[i:]...)
+				need = false
+				break
+			}
+			if gr.First(x).Has(gr.TermIndex(t)) {
+				exp, ok := expandStartingWith(gr, x, t, make(map[grammar.Sym]bool))
+				if !ok {
+					return nil, false
+				}
+				out = append(out, exp...)
+				out = append(out, rem[i+1:]...)
+				need = false
+				break
+			}
+			if !gr.Nullable(x) {
+				return nil, false
+			}
+			// Nullable and cannot start with t: derive ε, drop it.
+		}
+	}
+	if need {
+		// Every remainder derived ε; valid only when the conflict terminal is
+		// the end of input.
+		return out, t == grammar.EOF
+	}
+	return out, true
+}
+
+// expandStartingWith returns a minimal sentential form derived from
+// nonterminal n that begins with terminal t. Leading nullable symbols that
+// cannot start with t are dropped (they derive ε); the remaining symbols stay
+// abstract. busy guards against left-recursive cycles.
+func expandStartingWith(gr *grammar.Grammar, n, t grammar.Sym, busy map[grammar.Sym]bool) ([]grammar.Sym, bool) {
+	if busy[n] {
+		return nil, false
+	}
+	busy[n] = true
+	defer delete(busy, n)
+	for _, pid := range gr.ProductionsOf(n) {
+		rhs := gr.Production(pid).RHS
+		for i, x := range rhs {
+			if gr.IsTerminal(x) {
+				if x == t {
+					return append([]grammar.Sym{}, rhs[i:]...), true
+				}
+				break
+			}
+			if gr.First(x).Has(gr.TermIndex(t)) {
+				if sub, ok := expandStartingWith(gr, x, t, busy); ok {
+					return append(sub, rhs[i+1:]...), true
+				}
+			}
+			if !gr.Nullable(x) {
+				break
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"errors"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// nonunifying holds the two derivable strings of a nonunifying
+// counterexample (Section 3.2): a shared prefix up to the conflict point,
+// then the continuation seen by the reduce item and by the other conflict
+// item.
+type nonunifying struct {
+	prefix []grammar.Sym
+	after1 []grammar.Sym // continuation using the reduce item
+	after2 []grammar.Sym // continuation using the shift item (or 2nd reduce)
+}
+
+// buildNonunifying constructs a nonunifying counterexample for the conflict
+// from its shortest lookahead-sensitive path.
+func buildNonunifying(g *graph, c lr.Conflict, path *laspPath) (*nonunifying, error) {
+	a := g.a
+	gr := a.G
+	item2Node, ok := g.lookup(c.State, c.Item2)
+	if !ok {
+		return nil, errors.New("core: conflict item2 missing from conflict state")
+	}
+
+	if c.Kind == lr.ReduceReduce {
+		return buildNonunifyingRR(g, c, path, item2Node)
+	}
+
+	out := &nonunifying{prefix: path.transitionSyms()}
+
+	// Reduce side: the conflict production is fully consumed at the dot; the
+	// continuation derives the pending remainders, starting with the conflict
+	// terminal (Section 4).
+	rem1 := path.pendingRemainders(g)
+	after1, ok := completeStartingWith(gr, rem1, c.Sym)
+	if !ok {
+		return nil, errors.New("core: cannot complete reduce-side continuation with the conflict terminal")
+	}
+	out.after1 = stripEOF(after1)
+
+	// Shift side: recover a path to the shift item over the same state
+	// sequence (Figure 5(b); always possible — every path into an LR state
+	// supports every item of the state up to lookahead, and a shift item
+	// imposes no lookahead constraint), then continue with the item's
+	// remaining symbols and its pending remainders.
+	rem2, ok := otherSidePending(g, out.prefix, item2Node, c.Sym, false)
+	if !ok {
+		return nil, errors.New("core: no same-states path to the second conflict item")
+	}
+	rest2 := gr.Production(a.Prod(c.Item2)).RHS[a.Dot(c.Item2):]
+	out.after2 = stripEOF(append(append([]grammar.Sym{}, rest2...), concat(rem2)...))
+	return out, nil
+}
+
+// buildNonunifyingRR handles reduce/reduce conflicts: both continuations
+// must begin with the conflict terminal, and the two items' precise
+// lookaheads may reach the merged LALR state through different contexts, so
+// the shared prefix comes from a joint search over both lookahead-sensitive
+// paths. The single-item shortest path is tried first (it usually works and
+// is cheaper); the joint search is the complete fallback.
+func buildNonunifyingRR(g *graph, c lr.Conflict, path *laspPath, item2Node node) (*nonunifying, error) {
+	gr := g.a.G
+	prefix := path.transitionSyms()
+	if rem2, ok := otherSidePending(g, prefix, item2Node, c.Sym, true); ok {
+		after1, ok1 := completeStartingWith(gr, path.pendingRemainders(g), c.Sym)
+		after2, ok2 := completeStartingWith(gr, rem2, c.Sym)
+		if ok1 && ok2 {
+			return &nonunifying{prefix: prefix, after1: stripEOF(after1), after2: stripEOF(after2)}, nil
+		}
+	}
+
+	node1, ok := g.lookup(c.State, c.Item1)
+	if !ok {
+		return nil, errors.New("core: conflict item1 missing from conflict state")
+	}
+	jp, rem1, rem2, ok := jointPath(g, node1, item2Node, c.Sym)
+	if !ok {
+		return nil, errors.New("core: no joint lookahead-sensitive path for the reduce/reduce conflict")
+	}
+	after1, ok1 := completeStartingWith(gr, rem1, c.Sym)
+	after2, ok2 := completeStartingWith(gr, rem2, c.Sym)
+	if !ok1 || !ok2 {
+		return nil, errors.New("core: cannot complete reduce/reduce continuations with the conflict terminal")
+	}
+	return &nonunifying{prefix: jp, after1: stripEOF(after1), after2: stripEOF(after2)}, nil
+}
+
+// stripEOF removes the end-of-input marker inherited from the augmented
+// production's remainder; it is implied in reports.
+func stripEOF(syms []grammar.Sym) []grammar.Sym {
+	out := syms[:0]
+	for _, s := range syms {
+		if s != grammar.EOF {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func concat(seqs [][]grammar.Sym) []grammar.Sym {
+	var out []grammar.Sym
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// otherSidePending finds a derivation of the same transition prefix that
+// ends at the second conflict item (Figure 5(b): since the transition
+// symbols are fixed, the states traversed are identical and only the
+// production steps differ). It walks the lookahead-sensitive graph forward,
+// constrained to emit exactly prefix; when needLA is set (reduce/reduce
+// conflicts) the precise lookahead at the second item must also contain the
+// conflict terminal, so the returned remainders can derive it. It returns
+// the pending production remainders of the found derivation, innermost
+// first.
+func otherSidePending(g *graph, prefix []grammar.Sym, item2Node node, t grammar.Sym, needLA bool) ([][]grammar.Sym, bool) {
+	a := g.a
+	gr := a.G
+	tIdx := gr.TermIndex(t)
+
+	interner := grammar.NewTermSetInterner()
+	eof := grammar.NewTermSet(gr.NumTerminals())
+	eof.Add(gr.TermIndex(grammar.EOF))
+
+	type vkey struct {
+		n   node
+		la  int
+		pos int
+	}
+	type entry struct {
+		key      vkey
+		parent   int
+		prodStep bool // reached from parent by a production step
+	}
+	startNode, ok := g.lookup(0, a.StartItem())
+	if !ok {
+		return nil, false
+	}
+	root := vkey{startNode, interner.Intern(eof), 0}
+	visited := map[vkey]bool{root: true}
+	order := []entry{{key: root, parent: -1}}
+	found := -1
+	for head := 0; head < len(order) && found < 0; head++ {
+		cur := order[head]
+		n, laID, pos := cur.key.n, cur.key.la, cur.key.pos
+		if n == item2Node && pos == len(prefix) {
+			if !needLA || interner.Get(laID).Has(tIdx) {
+				found = head
+				break
+			}
+		}
+		push := func(m node, mla, mpos int, prodStep bool) {
+			k := vkey{m, mla, mpos}
+			if visited[k] {
+				return
+			}
+			visited[k] = true
+			order = append(order, entry{key: k, parent: head, prodStep: prodStep})
+		}
+		if pos < len(prefix) && g.dotSym(n) == prefix[pos] {
+			if m := g.fwdTrans[n]; m != noNode {
+				push(m, laID, pos+1, false)
+			}
+		}
+		if steps := g.prodSteps[n]; len(steps) > 0 {
+			it := g.itemOf(n)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(laID))
+			fid := interner.Intern(follow)
+			for _, m := range steps {
+				push(m, fid, pos, true)
+			}
+		}
+	}
+	if found < 0 {
+		return nil, false
+	}
+
+	// Replay the found chain from the start item to the second conflict
+	// item, maintaining the suspension stack exactly as laspPath does: a
+	// production step suspends the current item. What remains suspended at
+	// the end are the pending remainders, returned innermost first.
+	var chain []entry
+	for i := found; i >= 0; i = order[i].parent {
+		chain = append(chain, order[i])
+	}
+	type susp struct{ prod, dot int }
+	var stack []susp
+	cur := g.itemOf(root.n)
+	for i := len(chain) - 2; i >= 0; i-- {
+		if chain[i].prodStep {
+			stack = append(stack, susp{a.Prod(cur), a.Dot(cur)})
+			cur = g.itemOf(chain[i].key.n)
+		} else {
+			cur = cur + 1
+		}
+	}
+	var pending [][]grammar.Sym
+	for i := len(stack) - 1; i >= 0; i-- {
+		rhs := gr.Production(stack[i].prod).RHS
+		pending = append(pending, rhs[stack[i].dot+1:])
+	}
+	return pending, true
+}

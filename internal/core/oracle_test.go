@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/engine"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+type grammarSym = grammar.Sym
+
+// TestUnifyingExamplesAgainstGLROracle verifies unifying counterexamples
+// end-to-end with an independent oracle: each example's sentential form is
+// concretized to pure terminals and fed to the GLR driver, which must find
+// at least two distinct parse trees. This closes the loop between the
+// conflict-time search (which never parses anything) and an actual parser.
+//
+// Grammars whose injected defects make the language infinitely ambiguous on
+// every sentence (e.g. nullable-cycle injections) can exceed the GLR fork
+// limit; those are reported but not failed, since the limit is a property of
+// the oracle, not of the counterexample.
+func TestUnifyingExamplesAgainstGLROracle(t *testing.T) {
+	budget := 200 * time.Millisecond
+	if testing.Short() {
+		budget = 50 * time.Millisecond
+	}
+	checked := 0
+	for _, e := range corpus.All() {
+		if e.Name == "Java.2" {
+			continue // nullable-name injection: every sentence is infinitely ambiguous
+		}
+		g, err := gdl.Parse(e.Name, e.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		tbl := lr.BuildTable(lr.Build(g))
+		f := core.NewFinder(tbl, core.Options{
+			PerConflictTimeout: budget,
+			CumulativeTimeout:  10 * budget,
+		})
+		exs, err := f.FindAll()
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for _, ex := range exs {
+			if ex.Kind != core.Unifying {
+				continue
+			}
+			// A unifying counterexample is a derivation of the ambiguous
+			// nonterminal, so the oracle parses with that nonterminal as the
+			// start symbol.
+			sub, err := g.WithStart(ex.Nonterminal)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			subSyms := make([]grammarSym, 0, len(ex.Syms))
+			for _, s := range ex.Syms {
+				m, ok := sub.Lookup(g.Name(s))
+				if !ok {
+					t.Fatalf("%s: symbol %s lost in restart", e.Name, g.Name(s))
+				}
+				subSyms = append(subSyms, m)
+			}
+			concrete, ok := engine.Concretize(sub, subSyms)
+			if !ok {
+				t.Errorf("%s: cannot concretize %q", e.Name, g.SymString(ex.Syms))
+				continue
+			}
+			glr := engine.NewGLR(lr.BuildTable(lr.Build(sub)))
+			n, err := glr.CountParses(concrete)
+			if err != nil {
+				t.Logf("%s: oracle limit on %q: %v (skipped)", e.Name, g.SymString(concrete), err)
+				continue
+			}
+			if n < 2 {
+				t.Errorf("%s: unifying example %q concretized to %q has %d parse(s), want >= 2",
+					e.Name, g.SymString(ex.Syms), sub.SymString(concrete), n)
+			}
+			checked++
+		}
+	}
+	if checked < 30 {
+		t.Errorf("oracle checked only %d unifying examples; expected many more", checked)
+	}
+	t.Logf("oracle confirmed %d unifying counterexamples", checked)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// Report renders the counterexample in the style of the paper's Figure 11:
+// the CUP conflict header, then the ambiguity diagnosis with the example and
+// both derivations (unifying), or the two derivable strings (nonunifying).
+func (ex *Example) Report(a *lr.Automaton) string {
+	g := a.G
+	c := ex.Conflict
+	var sb strings.Builder
+
+	if c.Kind == lr.ShiftReduce {
+		fmt.Fprintf(&sb, "Warning : *** Shift/Reduce conflict found in state #%d\n", c.State)
+		fmt.Fprintf(&sb, "  between reduction on %s\n", itemCUP(a, c.Item1))
+		fmt.Fprintf(&sb, "  and shift on %s\n", itemCUP(a, c.Item2))
+		fmt.Fprintf(&sb, "  under symbol %s\n", g.Name(c.Sym))
+	} else {
+		fmt.Fprintf(&sb, "Warning : *** Reduce/Reduce conflict found in state #%d\n", c.State)
+		fmt.Fprintf(&sb, "  between reduction on %s\n", itemCUP(a, c.Item1))
+		fmt.Fprintf(&sb, "  and reduction on %s\n", itemCUP(a, c.Item2))
+		fmt.Fprintf(&sb, "  under symbols %s\n", g.SymString(c.Syms))
+	}
+
+	switch ex.Kind {
+	case Unifying:
+		fmt.Fprintf(&sb, "Ambiguity detected for nonterminal %s\n", g.Name(ex.Nonterminal))
+		fmt.Fprintf(&sb, "Example: %s\n", yieldString(g, ex.Syms, ex.Dot))
+		fmt.Fprintf(&sb, "Derivation using reduction:\n  %s\n", ex.Deriv1.Format(g, ex.Dot))
+		fmt.Fprintf(&sb, "Derivation using shift:\n  %s\n", ex.Deriv2.Format(g, ex.Dot))
+	default:
+		if ex.Kind == NonunifyingTimeout {
+			sb.WriteString("No unifying counterexample found within the time limit\n")
+		} else if ex.Kind == NonunifyingExhausted {
+			sb.WriteString("No unifying counterexample exists on the conflict's shortest path\n")
+		}
+		dot := len(ex.Prefix)
+		both := func(after []grammar.Sym) string {
+			full := append(append([]grammar.Sym{}, ex.Prefix...), after...)
+			return yieldString(g, full, dot)
+		}
+		fmt.Fprintf(&sb, "Counterexample (using reduction):\n  %s\n", both(ex.After1))
+		fmt.Fprintf(&sb, "Counterexample (using %s):\n  %s\n", otherAction(c), both(ex.After2))
+	}
+	return sb.String()
+}
+
+func otherAction(c lr.Conflict) string {
+	if c.Kind == lr.ShiftReduce {
+		return "shift"
+	}
+	return "the other reduction"
+}
+
+// itemCUP renders an item in CUP's "lhs ::= alpha (*) beta" flavor used by
+// the Figure 11 header (with the bullet shown as our •).
+func itemCUP(a *lr.Automaton, it lr.Item) string {
+	return strings.ReplaceAll(a.ItemString(it), "->", "::=")
+}

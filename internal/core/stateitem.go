@@ -1,0 +1,163 @@
+package core
+
+import (
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// node identifies a (state, item) pair — a vertex of both the
+// lookahead-sensitive graph (Section 4) and the product parser (Section 5).
+// Node ids are dense: node = stateBase[state] + index of the item within the
+// state's item list.
+type node int32
+
+const noNode node = -1
+
+// graph precomputes the lookup tables of Section 6 ("Data structures"):
+// forward and reverse transitions and production steps between state-items.
+// It is built once per grammar, before the first conflict is analyzed.
+type graph struct {
+	a         *lr.Automaton
+	stateBase []int32 // state -> first node id
+	numNodes  int
+
+	// fwdTrans[n] is the successor on the item's dot symbol, or noNode for
+	// reduce items.
+	fwdTrans []node
+	// revTrans[n] lists nodes m with fwdTrans[m] == n.
+	revTrans [][]node
+	// prodSteps[n] lists, for an item with nonterminal N after the dot, the
+	// nodes (same state) of items N -> . gamma.
+	prodSteps [][]node
+	// revProdSteps[n] lists, for an item N -> . gamma, the nodes (same
+	// state) of items with N after the dot.
+	revProdSteps [][]node
+}
+
+func newGraph(a *lr.Automaton) *graph {
+	g := &graph{a: a}
+	g.stateBase = make([]int32, len(a.States)+1)
+	for i, st := range a.States {
+		g.stateBase[i+1] = g.stateBase[i] + int32(len(st.Items))
+	}
+	g.numNodes = int(g.stateBase[len(a.States)])
+
+	g.fwdTrans = make([]node, g.numNodes)
+	g.revTrans = make([][]node, g.numNodes)
+	g.prodSteps = make([][]node, g.numNodes)
+	g.revProdSteps = make([][]node, g.numNodes)
+
+	gr := a.G
+	for _, st := range a.States {
+		// Per-state index: items that have symbol X after the dot.
+		byDotSym := make(map[grammar.Sym][]int, len(st.Items))
+		for idx, it := range st.Items {
+			if x := a.DotSym(it); x != grammar.NoSym {
+				byDotSym[x] = append(byDotSym[x], idx)
+			}
+		}
+		for idx, it := range st.Items {
+			n := g.nodeOf(st.ID, idx)
+			x := a.DotSym(it)
+			if x == grammar.NoSym {
+				g.fwdTrans[n] = noNode
+				continue
+			}
+			tgtState := a.States[st.Trans[x]]
+			tIdx, ok := tgtState.HasItem(it + 1)
+			if !ok {
+				g.fwdTrans[n] = noNode // unreachable for a well-formed automaton
+			} else {
+				m := g.nodeOf(tgtState.ID, tIdx)
+				g.fwdTrans[n] = m
+				g.revTrans[m] = append(g.revTrans[m], n)
+			}
+			if !gr.IsTerminal(x) {
+				for _, pid := range gr.ProductionsOf(x) {
+					cIdx, ok := st.HasItem(a.ItemOf(pid, 0))
+					if !ok {
+						continue
+					}
+					c := g.nodeOf(st.ID, cIdx)
+					g.prodSteps[n] = append(g.prodSteps[n], c)
+					g.revProdSteps[c] = append(g.revProdSteps[c], n)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// nodeOf converts (state, item index) to a node id.
+func (g *graph) nodeOf(state, itemIdx int) node {
+	return node(g.stateBase[state] + int32(itemIdx))
+}
+
+// lookup converts (state, item) to a node id; the item must be in the state.
+func (g *graph) lookup(state int, it lr.Item) (node, bool) {
+	idx, ok := g.a.States[state].HasItem(it)
+	if !ok {
+		return noNode, false
+	}
+	return g.nodeOf(state, idx), true
+}
+
+// stateOf returns the state of a node.
+func (g *graph) stateOf(n node) int {
+	// Binary search over stateBase.
+	lo, hi := 0, len(g.stateBase)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int32(n) >= g.stateBase[mid] {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// itemOf returns the item of a node.
+func (g *graph) itemOf(n node) lr.Item {
+	s := g.stateOf(n)
+	return g.a.States[s].Items[int32(n)-g.stateBase[s]]
+}
+
+// lookaheadOf returns the static LALR lookahead set of the node's item.
+func (g *graph) lookaheadOf(n node) grammar.TermSet {
+	s := g.stateOf(n)
+	return g.a.States[s].Lookahead[int32(n)-g.stateBase[s]]
+}
+
+// dotSym returns the symbol after the dot of the node's item.
+func (g *graph) dotSym(n node) grammar.Sym { return g.a.DotSym(g.itemOf(n)) }
+
+// prevSym returns the symbol before the dot of the node's item.
+func (g *graph) prevSym(n node) grammar.Sym { return g.a.PrevSym(g.itemOf(n)) }
+
+// reverseReachable marks every node from which target is reachable via
+// forward transitions and production steps — the optimization of Section 6
+// ("Finding shortest lookahead-sensitive path"): only states that can reach
+// the conflict item need be explored.
+func (g *graph) reverseReachable(target node) []bool {
+	seen := make([]bool, g.numNodes)
+	stack := []node{target}
+	seen[target] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, m := range g.revTrans[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+		for _, m := range g.revProdSteps[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return seen
+}

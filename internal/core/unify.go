@@ -1,0 +1,543 @@
+package core
+
+import (
+	"container/heap"
+	"time"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// CostModel weighs the product-parser actions (Section 5.4: "the algorithm
+// imposes different costs on different kinds of actions and considers
+// configurations in order of increasing cost"). Production steps cost more
+// than transitions so that self-embedding productions cannot starve the
+// frontier, and repeating a production step already present in a
+// configuration costs more still.
+type CostModel struct {
+	Shift       int // joint forward transition
+	RevShift    int // joint reverse transition
+	Reduce      int // reduction on either side
+	ProdStep    int // forward production step
+	RevProdStep int // reverse production step
+	DupProdStep int // extra penalty when the stepped-to item repeats in the side
+	// MaxItemOccurrences bounds how many times the same (state, item) node
+	// may appear within one side's item sequence. Together with the
+	// shortest-path restriction this makes the search space finite, so the
+	// frontier of an unambiguous conflict runs dry instead of growing
+	// forever (the paper handles this case purely by the time limit; the
+	// cap trades completeness on extremely self-embedded witnesses for
+	// fast definitive answers on grammars like Figure 3).
+	MaxItemOccurrences int
+}
+
+// DefaultCosts is the cost model used by the evaluation; the ablation bench
+// varies it.
+var DefaultCosts = CostModel{
+	Shift:              1,
+	RevShift:           1,
+	Reduce:             1,
+	ProdStep:           10,
+	RevProdStep:        10,
+	DupProdStep:        50,
+	MaxItemOccurrences: 4,
+}
+
+// withDefaults replaces zero fields with the DefaultCosts values so partially
+// specified models behave sensibly.
+func (m CostModel) withDefaults() CostModel {
+	def := DefaultCosts
+	if m.Shift == 0 {
+		m.Shift = def.Shift
+	}
+	if m.RevShift == 0 {
+		m.RevShift = def.RevShift
+	}
+	if m.Reduce == 0 {
+		m.Reduce = def.Reduce
+	}
+	if m.ProdStep == 0 {
+		m.ProdStep = def.ProdStep
+	}
+	if m.RevProdStep == 0 {
+		m.RevProdStep = def.RevProdStep
+	}
+	if m.DupProdStep == 0 {
+		m.DupProdStep = def.DupProdStep
+	}
+	if m.MaxItemOccurrences == 0 {
+		m.MaxItemOccurrences = def.MaxItemOccurrences
+	}
+	return m
+}
+
+// side is one of the two simulated parsers of a configuration: the item
+// sequence I and the partial derivations D of Figure 8.
+type side struct {
+	items  []node
+	derivs []*Deriv
+}
+
+func (s side) withAppended(n node, d *Deriv) side {
+	out := side{items: make([]node, len(s.items)+1)}
+	copy(out.items, s.items)
+	out.items[len(s.items)] = n
+	if d != nil {
+		out.derivs = make([]*Deriv, len(s.derivs)+1)
+		copy(out.derivs, s.derivs)
+		out.derivs[len(s.derivs)] = d
+	} else {
+		out.derivs = s.derivs
+	}
+	return out
+}
+
+func (s side) withPrepended(n node, d *Deriv) side {
+	out := side{items: make([]node, len(s.items)+1)}
+	out.items[0] = n
+	copy(out.items[1:], s.items)
+	if d != nil {
+		out.derivs = make([]*Deriv, len(s.derivs)+1)
+		out.derivs[0] = d
+		copy(out.derivs[1:], s.derivs)
+	} else {
+		out.derivs = s.derivs
+	}
+	return out
+}
+
+// count returns how many times node n appears in the item sequence (used for
+// the duplicate-production-step penalty and the occurrence cap).
+func (s side) count(n node) int {
+	c := 0
+	for _, m := range s.items {
+		if m == n {
+			c++
+		}
+	}
+	return c
+}
+
+// config is a search state of the outward search (Figure 8): two item
+// sequences with their partial derivations, plus bookkeeping.
+type config struct {
+	s1, s2 side
+	cost   int
+	// revTrans counts joint reverse transitions: the number of leaves that
+	// precede the conflict point, i.e. the final dot position.
+	revTrans int
+	// orig1/orig2 hold the index of the original conflict item within each
+	// item sequence, or -1 once the reduction consuming it has happened
+	// (completing Stage 1 resp. Stage 2).
+	orig1, orig2 int
+}
+
+func (c *config) stage1Done() bool { return c.orig1 < 0 }
+func (c *config) stage2Done() bool { return c.orig2 < 0 }
+
+// key builds the dedup key: the two item sequences plus the stage markers.
+func (c *config) key() string {
+	b := make([]byte, 0, (len(c.s1.items)+len(c.s2.items))*4+6)
+	enc := func(v int32) {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	enc(int32(c.orig1))
+	for _, n := range c.s1.items {
+		enc(int32(n))
+	}
+	enc(-2)
+	enc(int32(c.orig2))
+	for _, n := range c.s2.items {
+		enc(int32(n))
+	}
+	return string(b)
+}
+
+// configHeap is a min-heap on cost.
+type configHeap []*config
+
+func (h configHeap) Len() int           { return len(h) }
+func (h configHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h configHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *configHeap) Push(x any)        { *h = append(*h, x.(*config)) }
+func (h *configHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// unifyResult is a successful unifying counterexample.
+type unifyResult struct {
+	nonterminal grammar.Sym
+	deriv1      *Deriv // derivation using the reduce item
+	deriv2      *Deriv // derivation using the shift (or second reduce) item
+	dot         int    // leaves before the conflict point
+}
+
+// unifySearch runs the outward search from the conflict state (Section 5.2).
+type unifySearch struct {
+	g     *graph
+	costs CostModel
+	c     lr.Conflict
+	tIdx  int // dense index of the conflict terminal
+
+	// allowedState restricts joint reverse transitions to states on the
+	// shortest lookahead-sensitive path (Section 6); nil = extended search.
+	allowedState []bool
+
+	deadline   time.Time
+	maxConfigs int
+
+	heap    configHeap
+	visited map[string]bool
+
+	// stats
+	Expanded int
+	TimedOut bool
+	Capped   bool
+}
+
+func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, deadline time.Time, maxConfigs int) *unifySearch {
+	return &unifySearch{
+		g: g, costs: costs, c: c,
+		tIdx:         g.a.G.TermIndex(c.Sym),
+		allowedState: allowedState,
+		deadline:     deadline,
+		maxConfigs:   maxConfigs,
+		visited:      make(map[string]bool),
+	}
+}
+
+func (u *unifySearch) push(c *config) {
+	k := c.key()
+	if u.visited[k] {
+		return
+	}
+	u.visited[k] = true
+	heap.Push(&u.heap, c)
+}
+
+// run returns a unifying counterexample, or nil when the search space is
+// exhausted (definitely none under the restriction) or limits were hit
+// (TimedOut / Capped distinguish the cases).
+func (u *unifySearch) run() *unifyResult {
+	g := u.g
+	n1, ok1 := g.lookup(u.c.State, u.c.Item1)
+	n2, ok2 := g.lookup(u.c.State, u.c.Item2)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	u.push(&config{
+		s1:    side{items: []node{n1}},
+		s2:    side{items: []node{n2}},
+		orig1: 0, orig2: 0,
+	})
+
+	checkEvery := 1024
+	for u.heap.Len() > 0 {
+		if u.Expanded%checkEvery == 0 && !u.deadline.IsZero() && time.Now().After(u.deadline) {
+			u.TimedOut = true
+			return nil
+		}
+		if u.maxConfigs > 0 && u.Expanded > u.maxConfigs {
+			u.Capped = true
+			return nil
+		}
+		c := heap.Pop(&u.heap).(*config)
+		u.Expanded++
+		if res := u.success(c); res != nil {
+			return res
+		}
+		u.expand(c)
+	}
+	return nil
+}
+
+// success checks the completion condition of Section 5.4: both item
+// sequences end in the bracket form [..., ? -> ... • A ..., ? -> ... A • ...]
+// with a single derivation of the same nonterminal A on each side, the
+// stages are complete, and the two derivations differ. (Leading context
+// items left over from reverse production steps are harmless: the
+// derivations already span exactly one A.)
+func (u *unifySearch) success(c *config) *unifyResult {
+	if !c.stage1Done() || !c.stage2Done() {
+		return nil
+	}
+	if len(c.s1.items) < 2 || len(c.s2.items) < 2 ||
+		len(c.s1.derivs) != 1 || len(c.s2.derivs) != 1 {
+		return nil
+	}
+	d1, d2 := c.s1.derivs[0], c.s2.derivs[0]
+	if d1.Sym != d2.Sym || d1.Prod < 0 || d2.Prod < 0 || d1.Equal(d2) {
+		return nil
+	}
+	// Both tails must bracket exactly A: the second-to-last item has • A and
+	// the last item is its successor.
+	for _, s := range []side{c.s1, c.s2} {
+		n := len(s.items)
+		prev, last := s.items[n-2], s.items[n-1]
+		if u.g.dotSym(prev) != d1.Sym || u.g.fwdTrans[prev] != last {
+			return nil
+		}
+	}
+	return &unifyResult{nonterminal: d1.Sym, deriv1: d1, deriv2: d2, dot: c.revTrans}
+}
+
+// expand generates the successor configurations of Figure 10.
+func (u *unifySearch) expand(c *config) {
+	g := u.g
+	a := g.a
+	gr := a.G
+
+	last1 := c.s1.items[len(c.s1.items)-1]
+	last2 := c.s2.items[len(c.s2.items)-1]
+	d1, d2 := g.dotSym(last1), g.dotSym(last2)
+
+	// Forward transition (Figure 10(a)): both last items move on Z; the
+	// symbol joins both derivation lists as a leaf.
+	if d1 != grammar.NoSym && d1 == d2 {
+		m1, m2 := g.fwdTrans[last1], g.fwdTrans[last2]
+		if m1 != noNode && m2 != noNode &&
+			c.s1.count(m1) < u.costs.MaxItemOccurrences &&
+			c.s2.count(m2) < u.costs.MaxItemOccurrences {
+			u.push(&config{
+				s1:   c.s1.withAppended(m1, leaf(d1)),
+				s2:   c.s2.withAppended(m2, leaf(d1)),
+				cost: c.cost + u.costs.Shift, revTrans: c.revTrans,
+				orig1: c.orig1, orig2: c.orig2,
+			})
+		}
+	}
+
+	// Forward production steps (Figure 10(b)) on either side. When both
+	// sides sit before the same symbol, expanding it on one side is never
+	// necessary: any witness that expands an aligned nonterminal identically
+	// on both sides is represented more abstractly by the joint transition,
+	// and the expansions cannot differ because production spans nest within
+	// the aligned symbol's span. Skipping the aligned case keeps the
+	// restricted search space finite for unambiguous conflicts.
+	aligned := d1 == d2
+	if !aligned && d1 != grammar.NoSym && !gr.IsTerminal(d1) {
+		for _, m := range g.prodSteps[last1] {
+			occ := c.s1.count(m)
+			if occ >= u.costs.MaxItemOccurrences {
+				continue
+			}
+			cost := c.cost + u.costs.ProdStep
+			if occ > 0 {
+				cost += u.costs.DupProdStep
+			}
+			u.push(&config{
+				s1: c.s1.withAppended(m, nil), s2: c.s2,
+				cost: cost, revTrans: c.revTrans,
+				orig1: c.orig1, orig2: c.orig2,
+			})
+		}
+	}
+	if !aligned && d2 != grammar.NoSym && !gr.IsTerminal(d2) {
+		for _, m := range g.prodSteps[last2] {
+			occ := c.s2.count(m)
+			if occ >= u.costs.MaxItemOccurrences {
+				continue
+			}
+			cost := c.cost + u.costs.ProdStep
+			if occ > 0 {
+				cost += u.costs.DupProdStep
+			}
+			u.push(&config{
+				s1: c.s1, s2: c.s2.withAppended(m, nil),
+				cost: cost, revTrans: c.revTrans,
+				orig1: c.orig1, orig2: c.orig2,
+			})
+		}
+	}
+
+	// Reductions (Figure 10(f)) on either side, when enough items are
+	// present; otherwise preparation steps below supply context.
+	need1 := u.tryReduce(c, 1)
+	need2 := u.tryReduce(c, 2)
+
+	if need1 || need2 {
+		u.prepare(c)
+	}
+}
+
+// tryReduce attempts a reduction on the given side; it returns true when the
+// side's last item is a reduce item that still lacks context items (so the
+// caller should generate preparation steps).
+func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
+	g := u.g
+	a := g.a
+	gr := a.G
+
+	s, o := c.s1, c.s2
+	orig, origOther := c.orig1, c.orig2
+	if which == 2 {
+		s, o = c.s2, c.s1
+		orig, origOther = c.orig2, c.orig1
+	}
+	last := s.items[len(s.items)-1]
+	it := g.itemOf(last)
+	if a.DotSym(it) != grammar.NoSym {
+		return false
+	}
+	pid := a.Prod(it)
+	l := len(gr.Production(pid).RHS)
+	m := len(s.items)
+	if m < l+2 {
+		return true // not enough items: needs preparation
+	}
+
+	// Lookahead guard: when the next joint symbol is forced by the other
+	// side's last item being at a terminal, the reduction must tolerate it.
+	// (The conflict items' own reductions satisfy this by the definition of
+	// the conflict.)
+	otherLast := o.items[len(o.items)-1]
+	if next := g.dotSym(otherLast); next != grammar.NoSym && gr.IsTerminal(next) {
+		la := g.lookaheadOf(last)
+		if !la.Has(gr.TermIndex(next)) {
+			return false
+		}
+	}
+
+	before := s.items[m-l-2] // the item with • before the reduced nonterminal
+	gotoNode := g.fwdTrans[before]
+	if gotoNode == noNode {
+		return false
+	}
+
+	// Wrap the last l derivations into one tree for the nonterminal.
+	nd := len(s.derivs)
+	if nd < l {
+		return false // defensive; structurally unreachable
+	}
+	children := make([]*Deriv, l)
+	copy(children, s.derivs[nd-l:])
+	tree := &Deriv{Sym: gr.Production(pid).LHS, Prod: pid, Children: children}
+
+	ns := side{
+		items:  append(append([]node{}, s.items[:m-l-1]...), gotoNode),
+		derivs: append(append([]*Deriv{}, s.derivs[:nd-l]...), tree),
+	}
+	newOrig := orig
+	if orig >= m-l-1 {
+		newOrig = -1 // the reduction consumed the original conflict item
+	}
+
+	nc := &config{cost: c.cost + u.costs.Reduce, revTrans: c.revTrans}
+	if which == 1 {
+		nc.s1, nc.s2 = ns, o
+		nc.orig1, nc.orig2 = newOrig, origOther
+	} else {
+		nc.s1, nc.s2 = o, ns
+		nc.orig1, nc.orig2 = origOther, newOrig
+	}
+	u.push(nc)
+	return false
+}
+
+// prepare generates the backward actions of Figures 10(c)–(e): joint reverse
+// transitions when both heads have consumed a symbol, and per-side reverse
+// production steps when a head sits at the start of its production.
+func (u *unifySearch) prepare(c *config) {
+	g := u.g
+	a := g.a
+	gr := a.G
+
+	head1, head2 := c.s1.items[0], c.s2.items[0]
+	dot1 := a.Dot(g.itemOf(head1))
+	dot2 := a.Dot(g.itemOf(head2))
+
+	if dot1 > 0 && dot2 > 0 {
+		// Joint reverse transition (Figure 10(c)): group predecessor nodes by
+		// state and prepend matching pairs. The symbol is the head state's
+		// accessing symbol, identical for both heads.
+		z := g.prevSym(head1)
+		for _, m1 := range g.revTrans[head1] {
+			st := g.stateOf(m1)
+			if u.allowedState != nil && !u.allowedState[st] {
+				continue
+			}
+			// Stage 1 guard: the item prepended to the first parser must
+			// still admit the conflict terminal (Section 5.3).
+			if !c.stage1Done() && !g.lookaheadOf(m1).Has(u.tIdx) {
+				continue
+			}
+			if c.s1.count(m1) >= u.costs.MaxItemOccurrences {
+				continue
+			}
+			for _, m2 := range g.revTrans[head2] {
+				if g.stateOf(m2) != st {
+					continue
+				}
+				if c.s2.count(m2) >= u.costs.MaxItemOccurrences {
+					continue
+				}
+				u.push(&config{
+					s1:   c.s1.withPrepended(m1, leaf(z)),
+					s2:   c.s2.withPrepended(m2, leaf(z)),
+					cost: c.cost + u.costs.RevShift, revTrans: c.revTrans + 1,
+					orig1: bump(c.orig1), orig2: bump(c.orig2),
+				})
+			}
+		}
+	}
+	if dot1 == 0 {
+		// Reverse production step on the first parser (Figure 10(d)). Until
+		// Stage 1 completes, the conflict terminal must be able to follow
+		// the sub-production inside the prepended item's context: that is
+		// followL of the prepended item (not its plain item lookahead, which
+		// describes what follows the *whole* production).
+		for _, m := range g.revProdSteps[head1] {
+			if !c.stage1Done() {
+				it := g.itemOf(m)
+				follow := gr.FollowL(a.Prod(it), a.Dot(it), g.lookaheadOf(m))
+				if !follow.Has(u.tIdx) {
+					continue
+				}
+			}
+			occ := c.s1.count(m)
+			if occ >= u.costs.MaxItemOccurrences {
+				continue
+			}
+			cost := c.cost + u.costs.RevProdStep
+			if occ > 0 {
+				cost += u.costs.DupProdStep
+			}
+			u.push(&config{
+				s1: c.s1.withPrepended(m, nil), s2: c.s2,
+				cost: cost, revTrans: c.revTrans,
+				orig1: bump(c.orig1), orig2: c.orig2,
+			})
+		}
+	}
+	if dot2 == 0 {
+		// Reverse production step on the second parser (Figure 10(e)).
+		for _, m := range g.revProdSteps[head2] {
+			occ := c.s2.count(m)
+			if occ >= u.costs.MaxItemOccurrences {
+				continue
+			}
+			cost := c.cost + u.costs.RevProdStep
+			if occ > 0 {
+				cost += u.costs.DupProdStep
+			}
+			u.push(&config{
+				s1: c.s1, s2: c.s2.withPrepended(m, nil),
+				cost: cost, revTrans: c.revTrans,
+				orig1: c.orig1, orig2: bump(c.orig2),
+			})
+		}
+	}
+}
+
+// bump shifts an original-item index for a prepend (indices move right).
+func bump(orig int) int {
+	if orig < 0 {
+		return orig
+	}
+	return orig + 1
+}

@@ -1,0 +1,283 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"lrcex/internal/baseline"
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// TestEveryCorpusExampleValidates is the repository's strongest
+// cross-validation: for every grammar in the Table 1 corpus, every
+// counterexample the finder produces is machine-checked —
+//
+//   - unifying examples must be two structurally distinct, grammar-consistent
+//     derivations of the same nonterminal with identical yields and the
+//     conflict terminal at the dot (checkUnifying), and
+//
+//   - nonunifying examples' prefixes must be accepted by the independent
+//     lookahead-sensitive prefix validator (the same machinery that exposes
+//     prior PPG's invalid counterexamples), and both continuations must be
+//     nonempty or the conflict must be on end-of-input.
+func TestEveryCorpusExampleValidates(t *testing.T) {
+	budget := 300 * time.Millisecond
+	if testing.Short() {
+		budget = 50 * time.Millisecond
+	}
+	for _, e := range corpus.All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			g, err := gdl.Parse(e.Name, e.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tbl := lr.BuildTable(lr.Build(g))
+			f := core.NewFinder(tbl, core.Options{
+				PerConflictTimeout: budget,
+				CumulativeTimeout:  20 * budget,
+			})
+			exs, err := f.FindAll()
+			if err != nil {
+				t.Fatalf("FindAll: %v", err)
+			}
+			if len(exs) != len(tbl.Conflicts) {
+				t.Fatalf("examples = %d, conflicts = %d", len(exs), len(tbl.Conflicts))
+			}
+			for _, ex := range exs {
+				switch ex.Kind {
+				case core.Unifying:
+					checkUnifying(t, g, ex)
+				default:
+					validateNonunifying(t, g, tbl, ex)
+				}
+			}
+		})
+	}
+}
+
+func validateNonunifying(t *testing.T, g *grammar.Grammar, tbl *lr.Table, ex *core.Example) {
+	t.Helper()
+	c := ex.Conflict
+	if !baseline.ValidatePrefix(tbl.A, c, ex.Prefix) {
+		t.Errorf("nonunifying prefix %q rejected by the lookahead-sensitive validator (state %d under %s)",
+			g.SymString(ex.Prefix), c.State, g.Name(c.Sym))
+	}
+	// Both continuations must start with the conflict terminal (reduce side
+	// always; shift side by construction), unless the conflict is on $.
+	if c.Sym != grammar.EOF {
+		if len(ex.After1) == 0 || ex.After1[0] != c.Sym {
+			t.Errorf("reduce continuation %q does not start with %s",
+				g.SymString(ex.After1), g.Name(c.Sym))
+		}
+		if len(ex.After2) == 0 {
+			t.Errorf("empty continuation for the second conflict item")
+		} else if c.Kind == lr.ReduceReduce && ex.After2[0] != c.Sym {
+			t.Errorf("second reduce continuation %q does not start with %s",
+				g.SymString(ex.After2), g.Name(c.Sym))
+		}
+	}
+}
+
+// TestAmbFailed01RestrictionTradeoff reproduces the Section 6 tradeoff the
+// ambfailed01 row illustrates: the grammar is ambiguous (the bounded
+// detector proves it), yet the default restricted search reports a
+// nonunifying counterexample because the witness lies off the shortest
+// lookahead-sensitive path.
+func TestAmbFailed01RestrictionTradeoff(t *testing.T) {
+	e, _ := corpus.Get("ambfailed01")
+	g, err := gdl.Parse(e.Name, e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := baseline.DetectAmbiguity(g, baseline.AmberOptions{MaxLen: 10, Timeout: 20 * time.Second})
+	if !res.Ambiguous {
+		t.Fatal("ambfailed01 must be genuinely ambiguous")
+	}
+
+	tbl := lr.BuildTable(lr.Build(g))
+	f := core.NewFinder(tbl, core.Options{})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exs {
+		if ex.Kind == core.Unifying {
+			t.Errorf("restricted search unexpectedly found a unifying example; the row should fail like the paper's")
+		}
+	}
+}
+
+// TestExtendedSearchFindsAmbFailed01: lifting the restriction
+// (-extendedsearch) recovers the unifying counterexample the restricted
+// search misses.
+func TestExtendedSearchFindsAmbFailed01(t *testing.T) {
+	e, _ := corpus.Get("ambfailed01")
+	g, err := gdl.Parse(e.Name, e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := lr.BuildTable(lr.Build(g))
+	f := core.NewFinder(tbl, core.Options{ExtendedSearch: true})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ex := range exs {
+		if ex.Kind == core.Unifying {
+			found = true
+			checkUnifying(t, g, ex)
+		}
+	}
+	if !found {
+		t.Error("extended search should find the unifying counterexample")
+	}
+}
+
+// TestReduceReduceUnifying checks unifying construction for a pure
+// reduce/reduce ambiguity.
+func TestReduceReduceUnifying(t *testing.T) {
+	src := `
+s : a 'x' | b 'x' ;
+a : 'w' ;
+b : 'w' ;
+`
+	g, err := gdl.Parse("rr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := lr.BuildTable(lr.Build(g))
+	if len(tbl.Conflicts) != 1 || tbl.Conflicts[0].Kind != lr.ReduceReduce {
+		t.Fatalf("want exactly one reduce/reduce conflict, got %v", tbl.Conflicts)
+	}
+	f := core.NewFinder(tbl, core.Options{})
+	ex, err := f.Find(tbl.Conflicts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Kind != core.Unifying {
+		t.Fatalf("kind = %v, want unifying", ex.Kind)
+	}
+	checkUnifying(t, g, ex)
+	if got, want := g.SymString(ex.Syms), "w x"; got != want {
+		t.Errorf("example = %q, want %q", got, want)
+	}
+}
+
+// TestReduceReduceNonunifying checks the nonunifying construction for an
+// unambiguous reduce/reduce conflict (LR(2) token classes).
+func TestReduceReduceNonunifying(t *testing.T) {
+	e, _ := corpus.Get("stackovf08")
+	g, err := gdl.Parse(e.Name, e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := lr.BuildTable(lr.Build(g))
+	f := core.NewFinder(tbl, core.Options{})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exs {
+		if ex.Kind == core.Unifying {
+			t.Errorf("stackovf08 is unambiguous; got a unifying example")
+			continue
+		}
+		validateNonunifying(t, g, tbl, ex)
+		// The two continuations must diverge after the conflict terminal.
+		if g.SymString(ex.After1) == g.SymString(ex.After2) {
+			t.Errorf("continuations identical: %q", g.SymString(ex.After1))
+		}
+	}
+}
+
+// TestCumulativeBudgetSkips: with an exhausted cumulative budget, conflicts
+// still get nonunifying counterexamples, marked skipped.
+func TestCumulativeBudgetSkips(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	f := core.NewFinder(tbl, core.Options{CumulativeTimeout: time.Nanosecond})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	for _, ex := range exs {
+		if ex.Kind == core.NonunifyingSkipped {
+			skipped++
+			if len(ex.Prefix)+len(ex.After1) == 0 {
+				t.Error("skipped conflict has no nonunifying counterexample")
+			}
+		}
+	}
+	if skipped < 2 {
+		t.Errorf("skipped = %d, want at least 2 of figure1's 3 conflicts", skipped)
+	}
+	_ = g
+}
+
+// TestMaxConfigsCap: an absurdly small configuration cap forces the
+// nonunifying fallback but never an error.
+func TestMaxConfigsCap(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	f := core.NewFinder(tbl, core.Options{MaxConfigs: 1})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range exs {
+		if ex.Kind == core.Unifying {
+			t.Errorf("unifying result with MaxConfigs=1 on conflict under %s", g.Name(ex.Conflict.Sym))
+		}
+		if ex.Kind == core.NonunifyingTimeout && len(ex.Prefix) == 0 {
+			t.Error("capped conflict lost its nonunifying fallback")
+		}
+	}
+}
+
+// TestDerivFormatDot pins dot placement in derivation rendering.
+func TestDerivFormatDot(t *testing.T) {
+	g, tbl := build(t, "figure1")
+	f := core.NewFinder(tbl, core.Options{})
+	var ex *core.Example
+	for _, c := range tbl.Conflicts {
+		if g.Name(c.Sym) == "+" {
+			e, err := f.Find(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ex = e
+		}
+	}
+	if got, want := ex.Deriv1.Format(g, ex.Dot), "expr ::= [expr ::= [expr + expr •] + expr]"; got != want {
+		t.Errorf("deriv1 = %q, want %q", got, want)
+	}
+	if got, want := ex.Deriv1.Format(g, -1), "expr ::= [expr ::= [expr + expr] + expr]"; got != want {
+		t.Errorf("no-dot rendering = %q, want %q", got, want)
+	}
+	if got, want := ex.Deriv1.Format(g, 0), "• expr ::= [expr ::= [expr + expr] + expr]"; got != want {
+		t.Errorf("dot-at-zero rendering = %q, want %q", got, want)
+	}
+}
+
+// TestExampleKindStrings covers the outcome vocabulary used in reports.
+func TestExampleKindStrings(t *testing.T) {
+	cases := map[core.ExampleKind]string{
+		core.Unifying:             "unifying",
+		core.NonunifyingExhausted: "nonunifying",
+		core.NonunifyingTimeout:   "nonunifying (timeout)",
+		core.NonunifyingSkipped:   "nonunifying (skipped)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k, want)
+		}
+	}
+	if !core.Unifying.IsUnifying() || core.NonunifyingTimeout.IsUnifying() {
+		t.Error("IsUnifying misclassifies")
+	}
+}

@@ -1,0 +1,301 @@
+package corpus
+
+// BV10-style C grammars: the classic ANSI C yacc grammar (Lee/Degener) as
+// the correct base — dangling else resolved by precedence — plus five
+// variants with injected defects. C.4 reintroduces the typedef-name
+// ambiguity, whose unifying counterexample needs a long chain of production
+// steps through the fifteen expression layers; the paper reports that its
+// tool times out on exactly this variant.
+
+const cPrologue = `
+%nonassoc 'if_prec'
+%nonassoc 'else'
+`
+
+const cBase = `
+translation_unit : external_declaration
+                 | translation_unit external_declaration
+                 ;
+external_declaration : function_definition | declaration ;
+
+function_definition : declaration_specifiers declarator declaration_list compound_statement
+                    | declaration_specifiers declarator compound_statement
+                    | declarator declaration_list compound_statement
+                    | declarator compound_statement
+                    ;
+
+declaration : declaration_specifiers ';'
+            | declaration_specifiers init_declarator_list ';'
+            ;
+declaration_list : declaration | declaration_list declaration ;
+declaration_specifiers : storage_class_specifier
+                       | storage_class_specifier declaration_specifiers
+                       | type_specifier
+                       | type_specifier declaration_specifiers
+                       | type_qualifier
+                       | type_qualifier declaration_specifiers
+                       ;
+storage_class_specifier : 'typedef' | 'extern' | 'static' | 'auto' | 'register' ;
+type_specifier : 'void' | 'char' | 'short' | 'int' | 'long' | 'float'
+               | 'double' | 'signed' | 'unsigned'
+               | struct_or_union_specifier
+               | enum_specifier
+               | 'typename'
+               ;
+type_qualifier : 'const' | 'volatile' ;
+
+struct_or_union_specifier : struct_or_union 'id' '{' struct_declaration_list '}'
+                          | struct_or_union '{' struct_declaration_list '}'
+                          | struct_or_union 'id'
+                          ;
+struct_or_union : 'struct' | 'union' ;
+struct_declaration_list : struct_declaration
+                        | struct_declaration_list struct_declaration
+                        ;
+struct_declaration : specifier_qualifier_list struct_declarator_list ';' ;
+specifier_qualifier_list : type_specifier specifier_qualifier_list
+                         | type_specifier
+                         | type_qualifier specifier_qualifier_list
+                         | type_qualifier
+                         ;
+struct_declarator_list : struct_declarator
+                       | struct_declarator_list ',' struct_declarator
+                       ;
+struct_declarator : declarator
+                  | ':' constant_expression
+                  | declarator ':' constant_expression
+                  ;
+
+enum_specifier : 'enum' '{' enumerator_list '}'
+               | 'enum' 'id' '{' enumerator_list '}'
+               | 'enum' 'id'
+               ;
+enumerator_list : enumerator | enumerator_list ',' enumerator ;
+enumerator : 'id' | 'id' '=' constant_expression ;
+
+init_declarator_list : init_declarator
+                     | init_declarator_list ',' init_declarator
+                     ;
+init_declarator : declarator | declarator '=' initializer ;
+initializer : assignment_expression
+            | '{' initializer_list '}'
+            | '{' initializer_list ',' '}'
+            ;
+initializer_list : initializer | initializer_list ',' initializer ;
+
+declarator : pointer direct_declarator | direct_declarator ;
+direct_declarator : 'id'
+                  | '(' declarator ')'
+                  | direct_declarator '[' constant_expression ']'
+                  | direct_declarator '[' ']'
+                  | direct_declarator '(' parameter_type_list ')'
+                  | direct_declarator '(' identifier_list ')'
+                  | direct_declarator '(' ')'
+                  ;
+pointer : '*'
+        | '*' type_qualifier_list
+        | '*' pointer
+        | '*' type_qualifier_list pointer
+        ;
+type_qualifier_list : type_qualifier | type_qualifier_list type_qualifier ;
+parameter_type_list : parameter_list | parameter_list ',' '...' ;
+parameter_list : parameter_declaration
+               | parameter_list ',' parameter_declaration
+               ;
+parameter_declaration : declaration_specifiers declarator
+                      | declaration_specifiers abstract_declarator
+                      | declaration_specifiers
+                      ;
+identifier_list : 'id' | identifier_list ',' 'id' ;
+
+type_name : specifier_qualifier_list
+          | specifier_qualifier_list abstract_declarator
+          ;
+abstract_declarator : pointer
+                    | direct_abstract_declarator
+                    | pointer direct_abstract_declarator
+                    ;
+direct_abstract_declarator : '(' abstract_declarator ')'
+                           | '[' ']'
+                           | '[' constant_expression ']'
+                           | direct_abstract_declarator '[' ']'
+                           | direct_abstract_declarator '[' constant_expression ']'
+                           | '(' ')'
+                           | '(' parameter_type_list ')'
+                           | direct_abstract_declarator '(' ')'
+                           | direct_abstract_declarator '(' parameter_type_list ')'
+                           ;
+
+statement : labeled_statement
+          | compound_statement
+          | expression_statement
+          | selection_statement
+          | iteration_statement
+          | jump_statement
+          ;
+labeled_statement : 'id' ':' statement
+                  | 'case' constant_expression ':' statement
+                  | 'default' ':' statement
+                  ;
+compound_statement : '{' '}'
+                   | '{' statement_list '}'
+                   | '{' declaration_list '}'
+                   | '{' declaration_list statement_list '}'
+                   ;
+statement_list : statement | statement_list statement ;
+expression_statement : ';' | expression ';' ;
+selection_statement : 'if' '(' expression ')' statement %prec 'if_prec'
+                    | 'if' '(' expression ')' statement 'else' statement
+                    | 'switch' '(' expression ')' statement
+                    ;
+iteration_statement : 'while' '(' expression ')' statement
+                    | 'do' statement 'while' '(' expression ')' ';'
+                    | 'for' '(' expression_statement expression_statement ')' statement
+                    | 'for' '(' expression_statement expression_statement expression ')' statement
+                    ;
+jump_statement : 'goto' 'id' ';'
+               | 'continue' ';'
+               | 'break' ';'
+               | 'return' ';'
+               | 'return' expression ';'
+               ;
+
+expression : assignment_expression
+           | expression ',' assignment_expression
+           ;
+assignment_expression : conditional_expression
+                      | unary_expression assignment_operator assignment_expression
+                      ;
+assignment_operator : '=' | '*=' | '/=' | '%=' | '+=' | '-='
+                    | '<<=' | '>>=' | '&=' | '^=' | '|='
+                    ;
+conditional_expression : logical_or_expression
+                       | logical_or_expression '?' expression ':' conditional_expression
+                       ;
+constant_expression : conditional_expression ;
+logical_or_expression : logical_and_expression
+                      | logical_or_expression '||' logical_and_expression
+                      ;
+logical_and_expression : inclusive_or_expression
+                       | logical_and_expression '&&' inclusive_or_expression
+                       ;
+inclusive_or_expression : exclusive_or_expression
+                        | inclusive_or_expression '|' exclusive_or_expression
+                        ;
+exclusive_or_expression : and_expression
+                        | exclusive_or_expression '^' and_expression
+                        ;
+and_expression : equality_expression
+               | and_expression '&' equality_expression
+               ;
+equality_expression : relational_expression
+                    | equality_expression '==' relational_expression
+                    | equality_expression '!=' relational_expression
+                    ;
+relational_expression : shift_expression
+                      | relational_expression '<' shift_expression
+                      | relational_expression '>' shift_expression
+                      | relational_expression '<=' shift_expression
+                      | relational_expression '>=' shift_expression
+                      ;
+shift_expression : additive_expression
+                 | shift_expression '<<' additive_expression
+                 | shift_expression '>>' additive_expression
+                 ;
+additive_expression : multiplicative_expression
+                    | additive_expression '+' multiplicative_expression
+                    | additive_expression '-' multiplicative_expression
+                    ;
+multiplicative_expression : cast_expression
+                          | multiplicative_expression '*' cast_expression
+                          | multiplicative_expression '/' cast_expression
+                          | multiplicative_expression '%' cast_expression
+                          ;
+cast_expression : unary_expression
+                | '(' type_name ')' cast_expression
+                ;
+unary_expression : postfix_expression
+                 | '++' unary_expression
+                 | '--' unary_expression
+                 | unary_operator cast_expression
+                 | 'sizeof' unary_expression
+                 | 'sizeof' '(' type_name ')'
+                 ;
+unary_operator : '&' | '*' | '+' | '-' | '~' | '!' ;
+postfix_expression : primary_expression
+                   | postfix_expression '[' expression ']'
+                   | postfix_expression '(' ')'
+                   | postfix_expression '(' argument_expression_list ')'
+                   | postfix_expression '.' 'id'
+                   | postfix_expression '->' 'id'
+                   | postfix_expression '++'
+                   | postfix_expression '--'
+                   ;
+argument_expression_list : assignment_expression
+                         | argument_expression_list ',' assignment_expression
+                         ;
+primary_expression : 'id' | 'num' | 'str' | '(' expression ')' ;
+`
+
+const (
+	// c2Inject flattens additive expressions (ambiguous, contained).
+	c2Inject = `
+additive_expression : additive_expression '+' additive_expression ;
+`
+	// c3Inject flattens both logical operators (several ambiguous pairs).
+	c3Inject = `
+logical_or_expression : logical_or_expression '||' logical_or_expression
+                      | logical_or_expression '&&' logical_or_expression
+                      ;
+`
+	// c4Inject reintroduces the typedef-name ambiguity: a plain identifier
+	// can be a type specifier, so "(id)(id)" is both a cast and a call. The
+	// unifying witness needs a long chain of production steps through the
+	// expression layers — the conflict the paper times out on.
+	c4Inject = `
+type_specifier : 'id' ;
+`
+	// c5Inject adds 'static' as a type qualifier, overlapping with the
+	// storage-class specifier (reduce/reduce in declaration specifiers).
+	c5Inject = `
+type_qualifier : 'static' ;
+`
+)
+
+func c1Source() string {
+	// Expose the dangling else by dropping the precedence fix.
+	return replaceOnce(cBase, " %prec 'if_prec'", "")
+}
+
+func init() {
+	register(&Entry{
+		Name: "C.1", Category: BV10, Source: c1Source(), Ambiguous: true,
+		PaperNonterms: 64, PaperProds: 214, PaperStates: 369, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "ANSI C base with the dangling-else precedence fix removed",
+	})
+	register(&Entry{
+		Name: "C.2", Category: BV10, Source: cPrologue + cBase + c2Inject, Ambiguous: true,
+		PaperNonterms: 64, PaperProds: 214, PaperStates: 368, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "ANSI C base + injected flat additive expression",
+	})
+	register(&Entry{
+		Name: "C.3", Category: BV10, Source: cPrologue + cBase + c3Inject, Ambiguous: true,
+		PaperNonterms: 64, PaperProds: 214, PaperStates: 368, PaperConflicts: 4,
+		PaperUnif: 4, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "ANSI C base + injected flat logical operators",
+	})
+	register(&Entry{
+		Name: "C.4", Category: BV10, Source: cPrologue + cBase + c4Inject, Ambiguous: true,
+		PaperNonterms: 64, PaperProds: 214, PaperStates: 369, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 0, PaperTimeout: 1,
+		Note: "ANSI C base + typedef-name ambiguity (cast vs call); long witness",
+	})
+	register(&Entry{
+		Name: "C.5", Category: BV10, Source: cPrologue + cBase + c5Inject, Ambiguous: true,
+		PaperNonterms: 64, PaperProds: 214, PaperStates: 370, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "ANSI C base + 'static' as type qualifier (reduce/reduce)",
+	})
+}

@@ -1,0 +1,431 @@
+package corpus
+
+// BV10-style Java grammars: a JLS (1st/2nd edition, chapter 19) grammar as
+// the correct base plus five variants with injected defects, and the two
+// java-ext rows of the "our grammars" section (extensions whose conflicts
+// defeat the unifying search). Java.2 injects a nullable production that
+// generates a very large number of conflicts, triggering the 2-minute
+// cumulative budget exactly as in the paper.
+
+const javaBase = `
+goal : compilation_unit ;
+
+literal : 'intlit' | 'floatlit' | 'boollit' | 'charlit' | 'strlit' | 'null' ;
+
+type : primitive_type | reference_type ;
+primitive_type : numeric_type | 'boolean' ;
+numeric_type : integral_type | floating_point_type ;
+integral_type : 'byte' | 'short' | 'int' | 'long' | 'char' ;
+floating_point_type : 'float' | 'double' ;
+reference_type : class_or_interface_type | array_type ;
+class_or_interface_type : name ;
+class_type : class_or_interface_type ;
+interface_type : class_or_interface_type ;
+array_type : primitive_type dims | name dims ;
+
+name : simple_name | qualified_name ;
+simple_name : 'id' ;
+qualified_name : name '.' 'id' ;
+
+compilation_unit : package_declaration_opt import_declarations_opt type_declarations_opt ;
+package_declaration_opt : | package_declaration ;
+import_declarations_opt : | import_declarations ;
+type_declarations_opt : | type_declarations ;
+import_declarations : import_declaration
+                    | import_declarations import_declaration
+                    ;
+type_declarations : type_declaration
+                  | type_declarations type_declaration
+                  ;
+package_declaration : 'package' name ';' ;
+import_declaration : single_type_import_declaration
+                   | type_import_on_demand_declaration
+                   ;
+single_type_import_declaration : 'import' name ';' ;
+type_import_on_demand_declaration : 'import' name '.' '*' ';' ;
+type_declaration : class_declaration
+                 | interface_declaration
+                 | ';'
+                 ;
+
+modifiers : modifier | modifiers modifier ;
+modifier : 'public' | 'protected' | 'private' | 'static' | 'abstract'
+         | 'final' | 'native' | 'synchronized' | 'transient' | 'volatile'
+         ;
+
+class_declaration : modifiers_opt 'class' 'id' super_opt interfaces_opt class_body ;
+modifiers_opt : | modifiers ;
+super_opt : | 'extends' class_type ;
+interfaces_opt : | interfaces ;
+interfaces : 'implements' interface_type_list ;
+interface_type_list : interface_type
+                    | interface_type_list ',' interface_type
+                    ;
+class_body : '{' class_body_declarations_opt '}' ;
+class_body_declarations_opt : | class_body_declarations ;
+class_body_declarations : class_body_declaration
+                        | class_body_declarations class_body_declaration
+                        ;
+class_body_declaration : class_member_declaration
+                       | static_initializer
+                       | constructor_declaration
+                       ;
+class_member_declaration : field_declaration | method_declaration ;
+
+field_declaration : modifiers_opt type variable_declarators ';' ;
+variable_declarators : variable_declarator
+                     | variable_declarators ',' variable_declarator
+                     ;
+variable_declarator : variable_declarator_id
+                    | variable_declarator_id '=' variable_initializer
+                    ;
+variable_declarator_id : 'id' | variable_declarator_id '[' ']' ;
+variable_initializer : expression | array_initializer ;
+
+method_declaration : method_header method_body ;
+method_header : modifiers_opt type method_declarator throws_opt
+              | modifiers_opt 'void' method_declarator throws_opt
+              ;
+method_declarator : 'id' '(' formal_parameter_list_opt ')'
+                  | method_declarator '[' ']'
+                  ;
+formal_parameter_list_opt : | formal_parameter_list ;
+formal_parameter_list : formal_parameter
+                      | formal_parameter_list ',' formal_parameter
+                      ;
+formal_parameter : type variable_declarator_id ;
+throws_opt : | throws_clause ;
+throws_clause : 'throws' class_type_list ;
+class_type_list : class_type | class_type_list ',' class_type ;
+method_body : block | ';' ;
+
+static_initializer : 'static' block ;
+
+constructor_declaration : modifiers_opt constructor_declarator throws_opt constructor_body ;
+constructor_declarator : simple_name '(' formal_parameter_list_opt ')' ;
+constructor_body : '{' explicit_constructor_invocation block_statements '}'
+                 | '{' explicit_constructor_invocation '}'
+                 | '{' block_statements '}'
+                 | '{' '}'
+                 ;
+explicit_constructor_invocation : 'this' '(' argument_list_opt ')' ';'
+                                | 'super' '(' argument_list_opt ')' ';'
+                                ;
+
+interface_declaration : modifiers_opt 'interface' 'id' extends_interfaces_opt interface_body ;
+extends_interfaces_opt : | extends_interfaces ;
+extends_interfaces : 'extends' interface_type
+                   | extends_interfaces ',' interface_type
+                   ;
+interface_body : '{' interface_member_declarations_opt '}' ;
+interface_member_declarations_opt : | interface_member_declarations ;
+interface_member_declarations : interface_member_declaration
+                              | interface_member_declarations interface_member_declaration
+                              ;
+interface_member_declaration : constant_declaration
+                             | abstract_method_declaration
+                             ;
+constant_declaration : field_declaration ;
+abstract_method_declaration : method_header ';' ;
+
+array_initializer : '{' variable_initializers ',' '}'
+                  | '{' variable_initializers '}'
+                  | '{' ',' '}'
+                  | '{' '}'
+                  ;
+variable_initializers : variable_initializer
+                      | variable_initializers ',' variable_initializer
+                      ;
+
+block : '{' block_statements_opt '}' ;
+block_statements_opt : | block_statements ;
+block_statements : block_statement | block_statements block_statement ;
+block_statement : local_variable_declaration_statement | statement ;
+local_variable_declaration_statement : local_variable_declaration ';' ;
+local_variable_declaration : type variable_declarators ;
+
+statement : statement_without_trailing_substatement
+          | labeled_statement
+          | if_then_statement
+          | if_then_else_statement
+          | while_statement
+          | for_statement
+          ;
+statement_no_short_if : statement_without_trailing_substatement
+                      | labeled_statement_no_short_if
+                      | if_then_else_statement_no_short_if
+                      | while_statement_no_short_if
+                      | for_statement_no_short_if
+                      ;
+statement_without_trailing_substatement : block
+                                        | empty_statement
+                                        | expression_statement
+                                        | switch_statement
+                                        | do_statement
+                                        | break_statement
+                                        | continue_statement
+                                        | return_statement
+                                        | synchronized_statement
+                                        | throw_statement
+                                        | try_statement
+                                        ;
+empty_statement : ';' ;
+labeled_statement : 'id' ':' statement ;
+labeled_statement_no_short_if : 'id' ':' statement_no_short_if ;
+expression_statement : statement_expression ';' ;
+statement_expression : assignment
+                     | preincrement_expression
+                     | predecrement_expression
+                     | postincrement_expression
+                     | postdecrement_expression
+                     | method_invocation
+                     | class_instance_creation_expression
+                     ;
+if_then_statement : 'if' '(' expression ')' statement ;
+if_then_else_statement : 'if' '(' expression ')' statement_no_short_if 'else' statement ;
+if_then_else_statement_no_short_if : 'if' '(' expression ')' statement_no_short_if 'else' statement_no_short_if ;
+switch_statement : 'switch' '(' expression ')' switch_block ;
+switch_block : '{' switch_block_statement_groups switch_labels '}'
+             | '{' switch_block_statement_groups '}'
+             | '{' switch_labels '}'
+             | '{' '}'
+             ;
+switch_block_statement_groups : switch_block_statement_group
+                              | switch_block_statement_groups switch_block_statement_group
+                              ;
+switch_block_statement_group : switch_labels block_statements ;
+switch_labels : switch_label | switch_labels switch_label ;
+switch_label : 'case' constant_expression ':' | 'default' ':' ;
+while_statement : 'while' '(' expression ')' statement ;
+while_statement_no_short_if : 'while' '(' expression ')' statement_no_short_if ;
+do_statement : 'do' statement 'while' '(' expression ')' ';' ;
+for_statement : 'for' '(' for_init_opt ';' expression_opt ';' for_update_opt ')' statement ;
+for_statement_no_short_if : 'for' '(' for_init_opt ';' expression_opt ';' for_update_opt ')' statement_no_short_if ;
+for_init_opt : | for_init ;
+for_init : statement_expression_list | local_variable_declaration ;
+for_update_opt : | for_update ;
+for_update : statement_expression_list ;
+statement_expression_list : statement_expression
+                          | statement_expression_list ',' statement_expression
+                          ;
+expression_opt : | expression ;
+break_statement : 'break' identifier_opt ';' ;
+continue_statement : 'continue' identifier_opt ';' ;
+identifier_opt : | 'id' ;
+return_statement : 'return' expression_opt ';' ;
+throw_statement : 'throw' expression ';' ;
+synchronized_statement : 'synchronized' '(' expression ')' block ;
+try_statement : 'try' block catches
+              | 'try' block catches_opt finally_clause
+              ;
+catches_opt : | catches ;
+catches : catch_clause | catches catch_clause ;
+catch_clause : 'catch' '(' formal_parameter ')' block ;
+finally_clause : 'finally' block ;
+
+primary : primary_no_new_array | array_creation_expression ;
+primary_no_new_array : literal
+                     | 'this'
+                     | '(' expression ')'
+                     | class_instance_creation_expression
+                     | field_access
+                     | method_invocation
+                     | array_access
+                     ;
+class_instance_creation_expression : 'new' class_type '(' argument_list_opt ')' ;
+argument_list_opt : | argument_list ;
+argument_list : expression | argument_list ',' expression ;
+array_creation_expression : 'new' primitive_type dim_exprs dims_opt
+                          | 'new' class_or_interface_type dim_exprs dims_opt
+                          ;
+dim_exprs : dim_expr | dim_exprs dim_expr ;
+dim_expr : '[' expression ']' ;
+dims_opt : | dims ;
+dims : '[' ']' | dims '[' ']' ;
+field_access : primary '.' 'id' | 'super' '.' 'id' ;
+method_invocation : name '(' argument_list_opt ')'
+                  | primary '.' 'id' '(' argument_list_opt ')'
+                  | 'super' '.' 'id' '(' argument_list_opt ')'
+                  ;
+array_access : name '[' expression ']'
+             | primary_no_new_array '[' expression ']'
+             ;
+
+postfix_expression : primary
+                   | name
+                   | postincrement_expression
+                   | postdecrement_expression
+                   ;
+postincrement_expression : postfix_expression '++' ;
+postdecrement_expression : postfix_expression '--' ;
+unary_expression : preincrement_expression
+                 | predecrement_expression
+                 | '+' unary_expression
+                 | '-' unary_expression
+                 | unary_expression_not_plus_minus
+                 ;
+preincrement_expression : '++' unary_expression ;
+predecrement_expression : '--' unary_expression ;
+unary_expression_not_plus_minus : postfix_expression
+                                | '~' unary_expression
+                                | '!' unary_expression
+                                | cast_expression
+                                ;
+cast_expression : '(' primitive_type dims_opt ')' unary_expression
+                | '(' expression ')' unary_expression_not_plus_minus
+                | '(' name dims ')' unary_expression_not_plus_minus
+                ;
+multiplicative_expression : unary_expression
+                          | multiplicative_expression '*' unary_expression
+                          | multiplicative_expression '/' unary_expression
+                          | multiplicative_expression '%' unary_expression
+                          ;
+additive_expression : multiplicative_expression
+                    | additive_expression '+' multiplicative_expression
+                    | additive_expression '-' multiplicative_expression
+                    ;
+shift_expression : additive_expression
+                 | shift_expression '<<' additive_expression
+                 | shift_expression '>>' additive_expression
+                 | shift_expression '>>>' additive_expression
+                 ;
+relational_expression : shift_expression
+                      | relational_expression '<' shift_expression
+                      | relational_expression '>' shift_expression
+                      | relational_expression '<=' shift_expression
+                      | relational_expression '>=' shift_expression
+                      | relational_expression 'instanceof' reference_type
+                      ;
+equality_expression : relational_expression
+                    | equality_expression '==' relational_expression
+                    | equality_expression '!=' relational_expression
+                    ;
+and_expression : equality_expression
+               | and_expression '&' equality_expression
+               ;
+exclusive_or_expression : and_expression
+                        | exclusive_or_expression '^' and_expression
+                        ;
+inclusive_or_expression : exclusive_or_expression
+                        | inclusive_or_expression '|' exclusive_or_expression
+                        ;
+conditional_and_expression : inclusive_or_expression
+                           | conditional_and_expression '&&' inclusive_or_expression
+                           ;
+conditional_or_expression : conditional_and_expression
+                          | conditional_or_expression '||' conditional_and_expression
+                          ;
+conditional_expression : conditional_or_expression
+                       | conditional_or_expression '?' expression ':' conditional_expression
+                       ;
+assignment_expression : conditional_expression | assignment ;
+assignment : left_hand_side assignment_operator assignment_expression ;
+left_hand_side : name | field_access | array_access ;
+assignment_operator : '=' | '*=' | '/=' | '%=' | '+=' | '-='
+                    | '<<=' | '>>=' | '>>>=' | '&=' | '^=' | '|='
+                    ;
+expression : assignment_expression ;
+constant_expression : expression ;
+`
+
+const (
+	// java1Inject: a direct field-access production that duplicates
+	// qualified names (reduce/reduce ambiguity at every name.use).
+	java1Inject = `
+field_access : name '.' 'id' ;
+`
+	// java2Inject adds a nullable production for simple names (the paper:
+	// "the addition of a nullable production generates a large number of
+	// conflicts" for Java.2).
+	java2Inject = `
+simple_name : ;
+`
+	// java3Inject: array syntax after the declarator AND after the type,
+	// producing two conflicts.
+	java3Inject = `
+formal_parameter : type variable_declarator_id dims ;
+`
+	// java4Inject: a short-if form without the no_short_if split — the
+	// dangling else re-enters through one production and interacts with the
+	// labeled/while/for wrappers in many states.
+	java4Inject = `
+if_then_else_statement : 'if' '(' expression ')' statement 'else' statement ;
+statement_no_short_if : if_then_statement ;
+expression_statement : statement_expression ;
+`
+	// java5Inject: flat conditional-or (ambiguous operator layering).
+	java5Inject = `
+conditional_or_expression : conditional_or_expression '||' conditional_or_expression ;
+`
+)
+
+// javaExt1 extends the Java base with a generics-flavored type syntax whose
+// interaction with relational expressions creates conflicts that defeat the
+// search (the java-ext1 row of Table 1: every conflict times out).
+const javaExt1 = `
+type_arguments : '<' type_argument_list '>' ;
+type_argument_list : type_argument | type_argument_list ',' type_argument ;
+type_argument : reference_type | '?' | '?' 'extends' reference_type | '?' 'super' reference_type ;
+generic_type : name type_arguments ;
+class_or_interface_type : generic_type ;
+relational_expression : relational_expression '<' shift_expression '>' shift_expression ;
+generic_method_invocation : name '.' type_arguments 'id' '(' argument_list_opt ')' ;
+method_invocation : generic_method_invocation ;
+`
+
+// javaExt2 further extends javaExt1 with nested generic types and
+// wildcard-bounded members (the java-ext2 row: one conflict, times out).
+const javaExt2 = `
+type_parameters : '<' type_parameter_list '>' ;
+type_parameter_list : type_parameter | type_parameter_list ',' type_parameter ;
+type_parameter : 'id' | 'id' 'extends' bound_list ;
+bound_list : reference_type | bound_list '&' reference_type ;
+class_declaration : modifiers_opt 'class' 'id' type_parameters super_opt interfaces_opt class_body ;
+method_header : modifiers_opt type_parameters type method_declarator throws_opt ;
+shift_expression : shift_expression '<' '<' additive_expression ;
+`
+
+func init() {
+	register(&Entry{
+		Name: "java-ext1", Category: Ours, Source: javaBase + javaExt1, Ambiguous: true,
+		PaperNonterms: 185, PaperProds: 445, PaperStates: 767, PaperConflicts: 2,
+		PaperUnif: 0, PaperNonunif: 0, PaperTimeout: 2,
+		Note: "Java base + generics-flavored extension; most conflicts defeat the search. Deviation: the paper's extension was (believed) unambiguous; generics-vs-relational overlap is inherently ambiguous at the CFG level, so this reconstruction is ambiguous and the finder proves it for one conflict.",
+	})
+	register(&Entry{
+		Name: "java-ext2", Category: Ours, Source: javaBase + javaExt1 + javaExt2, Ambiguous: true,
+		PaperNonterms: 234, PaperProds: 599, PaperStates: 1255, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 0, PaperTimeout: 1,
+		Note: "java-ext1 + nested generics and bounded type parameters; same ambiguity deviation as java-ext1",
+	})
+	register(&Entry{
+		Name: "Java.1", Category: BV10, Source: javaBase + java1Inject, Ambiguous: true,
+		PaperNonterms: 152, PaperProds: 351, PaperStates: 607, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Java base + anonymous class bodies",
+	})
+	register(&Entry{
+		Name: "Java.2", Category: BV10, Source: javaBase + java2Inject, Ambiguous: true,
+		PaperNonterms: 152, PaperProds: 351, PaperStates: 606, PaperConflicts: 1133,
+		PaperUnif: 141, PaperNonunif: 0, PaperTimeout: 9,
+		Note: "Java base + nullable modifier production (mass conflicts; cumulative budget engages)",
+	})
+	register(&Entry{
+		Name: "Java.3", Category: BV10, Source: javaBase + java3Inject, Ambiguous: true,
+		PaperNonterms: 152, PaperProds: 351, PaperStates: 608, PaperConflicts: 2,
+		PaperUnif: 2, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Java base + post-declarator array dims",
+	})
+	register(&Entry{
+		Name: "Java.4", Category: BV10, Source: javaBase + java4Inject, Ambiguous: true,
+		PaperNonterms: 152, PaperProds: 351, PaperStates: 608, PaperConflicts: 14,
+		PaperUnif: 6, PaperNonunif: 2, PaperTimeout: 6,
+		Note: "Java base + arrow-expression forms",
+	})
+	register(&Entry{
+		Name: "Java.5", Category: BV10, Source: javaBase + java5Inject, Ambiguous: true,
+		PaperNonterms: 152, PaperProds: 351, PaperStates: 607, PaperConflicts: 3,
+		PaperUnif: 3, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Java base + flat conditional-or",
+	})
+}

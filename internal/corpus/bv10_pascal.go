@@ -1,0 +1,258 @@
+package corpus
+
+// BV10-style Pascal grammars: an ISO-flavored Pascal subset as the correct
+// base, plus five variants with injected defects. The base resolves the
+// dangling else the usual yacc way (precedence on then/else); Pascal.1
+// removes that fix, the other variants plant defects elsewhere.
+
+const pascalPrologue = `
+%nonassoc 'then'
+%nonassoc 'else'
+`
+
+const pascalBase = `
+pascal_prog : program_heading ';' block '.' ;
+program_heading : 'program' 'id'
+                | 'program' 'id' '(' identifier_list ')'
+                ;
+identifier_list : 'id' | identifier_list ',' 'id' ;
+
+block : label_part const_part type_part var_part proc_part compound_stmt ;
+
+label_part : | 'label' label_list ';' ;
+label_list : lbl | label_list ',' lbl ;
+lbl : 'num' ;
+
+const_part : | 'const' const_defs ';' ;
+const_defs : const_def | const_defs ';' const_def ;
+const_def : 'id' '=' constant ;
+constant : 'num'
+         | sign 'num'
+         | 'id'
+         | sign 'id'
+         | 'str'
+         ;
+sign : '+' | '-' ;
+
+type_part : | 'type' type_defs ';' ;
+type_defs : type_def | type_defs ';' type_def ;
+type_def : 'id' '=' type_denoter ;
+type_denoter : 'id'
+             | new_type
+             ;
+new_type : new_ordinal_type
+         | structured_type
+         | pointer_type
+         ;
+new_ordinal_type : enumerated_type | subrange_type ;
+enumerated_type : '(' identifier_list ')' ;
+subrange_type : constant '..' constant ;
+structured_type : packed_opt unpacked_structured_type ;
+packed_opt : | 'packed' ;
+unpacked_structured_type : array_type
+                         | record_type
+                         | set_type
+                         | file_type
+                         ;
+array_type : 'array' '[' index_types ']' 'of' type_denoter ;
+index_types : ordinal_type | index_types ',' ordinal_type ;
+ordinal_type : new_ordinal_type | 'id' ;
+record_type : 'record' field_list 'end' ;
+field_list : fixed_part
+           | fixed_part ';' variant_part
+           | variant_part
+           |
+           ;
+fixed_part : record_section | fixed_part ';' record_section ;
+record_section : identifier_list ':' type_denoter ;
+variant_part : 'case' variant_selector 'of' variant_list ;
+variant_selector : 'id' ':' 'id' | 'id' ;
+variant_list : variant | variant_list ';' variant ;
+variant : case_constant_list ':' '(' field_list ')' ;
+case_constant_list : constant | case_constant_list ',' constant ;
+set_type : 'set' 'of' ordinal_type ;
+file_type : 'file' 'of' type_denoter ;
+pointer_type : '^' 'id' ;
+
+var_part : | 'var' var_decls ';' ;
+var_decls : var_decl | var_decls ';' var_decl ;
+var_decl : identifier_list ':' type_denoter ;
+
+proc_part : | proc_part proc_or_func_decl ';' ;
+proc_or_func_decl : procedure_decl | function_decl ;
+procedure_decl : procedure_heading ';' body ;
+function_decl : function_heading ';' body ;
+body : block | 'forward' ;
+procedure_heading : 'procedure' 'id' formal_params_opt ;
+function_heading : 'function' 'id' formal_params_opt ':' 'id' ;
+formal_params_opt : | '(' formal_param_sections ')' ;
+formal_param_sections : formal_param_section
+                      | formal_param_sections ';' formal_param_section
+                      ;
+formal_param_section : identifier_list ':' 'id'
+                     | 'var' identifier_list ':' 'id'
+                     | procedure_heading
+                     | function_heading
+                     ;
+
+compound_stmt : 'begin' stmt_sequence 'end' ;
+stmt_sequence : statement | stmt_sequence ';' statement ;
+statement : lbl ':' unlabelled_stmt | unlabelled_stmt ;
+unlabelled_stmt : simple_stmt | structured_stmt ;
+simple_stmt : empty_stmt
+            | assignment_stmt
+            | procedure_stmt
+            | goto_stmt
+            ;
+empty_stmt : ;
+assignment_stmt : variable_access ':=' expression ;
+procedure_stmt : 'id' actual_params_opt ;
+goto_stmt : 'goto' lbl ;
+actual_params_opt : | '(' actual_params ')' ;
+actual_params : actual_param | actual_params ',' actual_param ;
+actual_param : expression ;
+structured_stmt : compound_stmt
+                | conditional_stmt
+                | repetitive_stmt
+                | with_stmt
+                ;
+conditional_stmt : if_stmt | case_stmt ;
+if_stmt : 'if' expression 'then' statement %prec 'then'
+        | 'if' expression 'then' statement 'else' statement
+        ;
+case_stmt : 'case' expression 'of' case_elements 'end' ;
+case_elements : case_element | case_elements ';' case_element ;
+case_element : case_constant_list ':' statement ;
+repetitive_stmt : while_stmt | repeat_stmt | for_stmt ;
+while_stmt : 'while' expression 'do' statement ;
+repeat_stmt : 'repeat' stmt_sequence 'until' expression ;
+for_stmt : 'for' 'id' ':=' expression direction expression 'do' statement ;
+direction : 'to' | 'downto' ;
+with_stmt : 'with' variable_list 'do' statement ;
+variable_list : variable_access | variable_list ',' variable_access ;
+
+expression : simple_expr
+           | simple_expr relational_op simple_expr
+           ;
+relational_op : '=' | '<>' | '<' | '>' | '<=' | '>=' | 'in' ;
+simple_expr : term
+            | sign term
+            | simple_expr adding_op term
+            ;
+adding_op : '+' | '-' | 'or' ;
+term : factor | term multiplying_op factor ;
+multiplying_op : '*' | '/' | 'div' | 'mod' | 'and' ;
+factor : variable_access
+       | 'num'
+       | 'str'
+       | 'nil'
+       | set_constructor
+       | '(' expression ')'
+       | 'not' factor
+       | function_call
+       ;
+function_call : 'id' '(' actual_params ')' ;
+set_constructor : '[' member_designators ']' ;
+member_designators : | member_list ;
+member_list : member | member_list ',' member ;
+member : expression | expression '..' expression ;
+variable_access : 'id'
+                | variable_access '[' index_expressions ']'
+                | variable_access '.' 'id'
+                | variable_access '^'
+                ;
+index_expressions : expression | index_expressions ',' expression ;
+`
+
+const (
+	// pascal1Inject: Pascal.1 drops the then/else precedence fix, exposing
+	// the dangling else.
+	// (handled by omitting pascalPrologue and the %prec marker)
+
+	// pascal2Inject plants an unlayered boolean operator: expression-level
+	// AND bypassing the term layering (ambiguous, several conflict pairs).
+	pascal2Inject = `
+expression : expression 'and' expression ;
+`
+	// pascal3Inject plants a juxtaposed subrange form that collides with
+	// constant signs (ambiguous).
+	pascal3Inject = `
+constant : sign constant ;
+`
+	// pascal4Inject plants an alternative parameter form creating a
+	// reduce/reduce with value parameters.
+	pascal4Inject = `
+formal_param_section : identifier_list ':' 'array' 'of' 'id' ;
+actual_param : variable_access ;
+`
+	// pascal1Extra additionally plants a separator-less output list whose
+	// conflicts include a pair with no unifying witness in an otherwise
+	// ambiguous region — the kind of conflict that exhausts the search
+	// budget (the paper's Pascal.1 row has one timeout).
+	pascal1Extra = `
+simple_stmt : 'write' out_items ;
+out_items : | out_items factor ;
+`
+	// pascal5Inject plants a bare-identifier statement: a reduce/reduce
+	// ambiguity with a parameterless procedure call.
+	pascal5Inject = `
+simple_stmt : 'id' ;
+`
+)
+
+func pascal1Source() string {
+	// Remove the %prec marker so the two if-statement productions conflict.
+	src := pascalBase
+	src = replaceOnce(src, " %prec 'then'", "")
+	return src + pascal1Extra
+}
+
+func replaceOnce(s, old, new string) string {
+	i := indexOf(s, old)
+	if i < 0 {
+		panic("corpus: marker not found: " + old)
+	}
+	return s[:i] + new + s[i+len(old):]
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func init() {
+	register(&Entry{
+		Name: "Pascal.1", Category: BV10, Source: pascal1Source(), Ambiguous: true,
+		PaperNonterms: 79, PaperProds: 177, PaperStates: 323, PaperConflicts: 3,
+		PaperUnif: 2, PaperNonunif: 0, PaperTimeout: 1,
+		Note: "Pascal base with the dangling-else precedence fix removed",
+	})
+	register(&Entry{
+		Name: "Pascal.2", Category: BV10, Source: pascalPrologue + pascalBase + pascal2Inject, Ambiguous: true,
+		PaperNonterms: 79, PaperProds: 177, PaperStates: 324, PaperConflicts: 5,
+		PaperUnif: 5, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Pascal base + injected expression-level AND",
+	})
+	register(&Entry{
+		Name: "Pascal.3", Category: BV10, Source: pascalPrologue + pascalBase + pascal3Inject, Ambiguous: true,
+		PaperNonterms: 79, PaperProds: 177, PaperStates: 321, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Pascal base + injected recursive signed constants",
+	})
+	register(&Entry{
+		Name: "Pascal.4", Category: BV10, Source: pascalPrologue + pascalBase + pascal4Inject, Ambiguous: true,
+		PaperNonterms: 79, PaperProds: 177, PaperStates: 322, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Pascal base + injected conformant-array/value parameter overlap",
+	})
+	register(&Entry{
+		Name: "Pascal.5", Category: BV10, Source: pascalPrologue + pascalBase + pascal5Inject, Ambiguous: true,
+		PaperNonterms: 79, PaperProds: 177, PaperStates: 322, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "Pascal base + injected trailing-semicolon field list",
+	})
+}

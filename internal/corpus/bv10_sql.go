@@ -1,0 +1,162 @@
+package corpus
+
+// BV10-style SQL grammars. SQL.1 is a small standalone query grammar; SQL.2
+// through SQL.5 are a larger SQL subset (sqlBase) with one conflict injected
+// per variant, mirroring how Basten & Vinju built their suite by planting
+// defects in correct grammars.
+
+// sql1 is the small SQL row: a compact query grammar with one ambiguous
+// conflict (AND/OR layered incorrectly).
+const sql1 = `
+query : 'select' select_list 'from' table_list where_opt ;
+select_list : '*' | column_list ;
+column_list : column | column_list ',' column ;
+column : 'id' | 'id' '.' 'id' ;
+table_list : 'id' | table_list ',' 'id' ;
+where_opt : | 'where' cond ;
+cond : cond 'and' cond
+     | cond 'or' cond
+     | 'id' '=' 'num'
+     | '(' cond ')'
+     ;
+`
+
+// sqlBase is the common SQL subset for SQL.2–SQL.5: queries with joins,
+// grouping, ordering, set operations, expressions, and DML statements. It is
+// conflict-free on its own.
+const sqlBase = `
+%left 'or'
+%left 'and'
+%right 'not'
+%left '=' '<>' '<' '>' '<=' '>='
+%left '+' '-'
+%left '*' '/'
+
+sql : stmt ;
+stmt : select_stmt
+     | insert_stmt
+     | update_stmt
+     | delete_stmt
+     ;
+
+select_stmt : query_expr order_opt ;
+query_expr : query_term
+           | query_expr 'union' all_opt query_term
+           | query_expr 'except' all_opt query_term
+           ;
+query_term : query_spec | '(' query_expr ')' ;
+all_opt : | 'all' ;
+query_spec : 'select' distinct_opt select_list 'from' from_list where_opt group_opt having_opt ;
+distinct_opt : | 'distinct' ;
+select_list : '*' | sel_items ;
+sel_items : sel_item | sel_items ',' sel_item ;
+sel_item : expr alias_opt ;
+alias_opt : | 'as' 'id' ;
+from_list : table_ref | from_list ',' table_ref ;
+table_ref : 'id' alias_opt
+          | '(' query_expr ')' 'as' 'id'
+          | table_ref 'join' table_ref 'on' search_cond
+          ;
+where_opt : | 'where' search_cond ;
+group_opt : | 'group' 'by' column_list ;
+having_opt : | 'having' search_cond ;
+order_opt : | 'order' 'by' order_list ;
+order_list : order_item | order_list ',' order_item ;
+order_item : column_ref dir_opt ;
+dir_opt : | 'asc' | 'desc' ;
+
+search_cond : search_cond 'or' search_cond
+            | search_cond 'and' search_cond
+            | 'not' search_cond
+            | '(' search_cond ')'
+            | predicate
+            ;
+predicate : expr comp expr
+          | expr 'is' 'null'
+          | expr 'in' '(' expr_list ')'
+          | expr 'between' expr 'and' expr %prec 'and'
+          | 'exists' '(' query_expr ')'
+          ;
+comp : '=' | '<>' | '<' | '>' | '<=' | '>=' ;
+
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '(' expr ')'
+     | column_ref
+     | literal
+     | func_call
+     ;
+expr_list : expr | expr_list ',' expr ;
+column_ref : 'id' | 'id' '.' 'id' ;
+column_list : column_ref | column_list ',' column_ref ;
+literal : 'num' | 'str' | 'null' ;
+func_call : 'id' '(' arg_list ')' | 'count' '(' '*' ')' ;
+arg_list : | expr_list ;
+
+insert_stmt : 'insert' 'into' 'id' cols_opt 'values' '(' expr_list ')' ;
+cols_opt : | '(' column_list ')' ;
+update_stmt : 'update' 'id' 'set' assign_list where_opt ;
+assign_list : assign | assign_list ',' assign ;
+assign : column_ref '=' expr ;
+delete_stmt : 'delete' 'from' 'id' where_opt ;
+`
+
+// The SQL.2–SQL.5 injections, in BV10's style of planting a defect into a
+// correct grammar.
+const (
+	// sql2Inject adds natural join without associativity information at the
+	// grammar level conflicting with the comma list (ambiguous).
+	sql2Inject = `
+table_ref : table_ref 'natural' 'join' table_ref ;
+`
+	// sql3Inject adds an unlayered NOT form that overlaps with the layered
+	// boolean syntax (ambiguous).
+	sql3Inject = `
+predicate : 'not' predicate ;
+`
+	// sql4Inject adds a string-concatenation operator without precedence
+	// (self-ambiguous).
+	sql4Inject = `
+expr : expr '||' expr ;
+`
+	// sql5Inject adds a second path from select items to bare identifiers
+	// (reduce/reduce ambiguity with column_ref).
+	sql5Inject = `
+sel_item : 'id' ;
+`
+)
+
+func init() {
+	register(&Entry{
+		Name: "SQL.1", Category: BV10, Source: sql1, Ambiguous: true,
+		PaperNonterms: 8, PaperProds: 23, PaperStates: 46, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: compact query grammar, AND/OR ambiguity",
+	})
+	register(&Entry{
+		Name: "SQL.2", Category: BV10, Source: sqlBase + sql2Inject, Ambiguous: true,
+		PaperNonterms: 29, PaperProds: 81, PaperStates: 151, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "base SQL subset + injected natural-join ambiguity",
+	})
+	register(&Entry{
+		Name: "SQL.3", Category: BV10, Source: sqlBase + sql3Inject, Ambiguous: true,
+		PaperNonterms: 29, PaperProds: 81, PaperStates: 149, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "base SQL subset + injected NOT-layering ambiguity",
+	})
+	register(&Entry{
+		Name: "SQL.4", Category: BV10, Source: sqlBase + sql4Inject, Ambiguous: true,
+		PaperNonterms: 29, PaperProds: 81, PaperStates: 151, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "base SQL subset + injected concatenation-operator ambiguity",
+	})
+	register(&Entry{
+		Name: "SQL.5", Category: BV10, Source: sqlBase + sql5Inject, Ambiguous: true,
+		PaperNonterms: 29, PaperProds: 81, PaperStates: 151, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "base SQL subset + injected select-item/column reduce/reduce",
+	})
+}

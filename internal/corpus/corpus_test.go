@@ -1,0 +1,120 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/lr"
+)
+
+// TestRosterMatchesTable1 checks the corpus covers Table 1's 42 rows in its
+// three sections.
+func TestRosterMatchesTable1(t *testing.T) {
+	if got := len(corpus.All()); got != 42 {
+		t.Errorf("corpus has %d grammars, Table 1 has 42", got)
+	}
+	counts := map[corpus.Category]int{}
+	for _, e := range corpus.All() {
+		counts[e.Category]++
+	}
+	if got := counts[corpus.Ours]; got != 10 {
+		t.Errorf("ours section has %d rows, want 10", got)
+	}
+	if got := counts[corpus.StackOverflow]; got != 12 {
+		t.Errorf("stackoverflow section has %d rows, want 12", got)
+	}
+	if got := counts[corpus.BV10]; got != 20 {
+		t.Errorf("bv10 section has %d rows, want 20", got)
+	}
+}
+
+// TestEveryGrammarBuilds parses and tables every corpus grammar.
+func TestEveryGrammarBuilds(t *testing.T) {
+	for _, e := range corpus.All() {
+		t.Run(e.Name, func(t *testing.T) {
+			g, err := gdl.Parse(e.Name, e.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tbl := lr.BuildTable(lr.Build(g))
+			if len(tbl.Conflicts) == 0 {
+				t.Errorf("%s has no conflicts; every Table 1 grammar must have at least one", e.Name)
+			}
+			if e.PaperConflicts == 0 {
+				t.Errorf("%s: missing paper metadata", e.Name)
+			}
+		})
+	}
+}
+
+// TestExactGrammarsPinned: the three grammars printed in the paper must
+// match its complexity columns exactly.
+func TestExactGrammarsPinned(t *testing.T) {
+	for _, e := range corpus.All() {
+		if !e.Exact {
+			continue
+		}
+		g, err := gdl.Parse(e.Name, e.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := lr.BuildTable(lr.Build(g))
+		if got := len(g.Nonterminals()); got != e.PaperNonterms {
+			t.Errorf("%s: nonterms %d != paper %d", e.Name, got, e.PaperNonterms)
+		}
+		if got := g.NumProductions(); got != e.PaperProds {
+			t.Errorf("%s: prods %d != paper %d", e.Name, got, e.PaperProds)
+		}
+		if got := len(tbl.A.States); got != e.PaperStates {
+			t.Errorf("%s: states %d != paper %d", e.Name, got, e.PaperStates)
+		}
+		if got := len(tbl.Conflicts); got != e.PaperConflicts {
+			t.Errorf("%s: conflicts %d != paper %d", e.Name, got, e.PaperConflicts)
+		}
+	}
+}
+
+// TestReconstructedGrammarsDocumented: every non-exact grammar must say how
+// it was reconstructed.
+func TestReconstructedGrammarsDocumented(t *testing.T) {
+	for _, e := range corpus.All() {
+		if !e.Exact && e.Note == "" {
+			t.Errorf("%s: reconstructed grammar without a Note", e.Name)
+		}
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	names := corpus.Names()
+	if names[0] != "figure1" {
+		t.Errorf("first grammar = %s, want figure1 (Table 1 order)", names[0])
+	}
+	if _, ok := corpus.Get("figure1"); !ok {
+		t.Error("Get(figure1) failed")
+	}
+	if _, ok := corpus.Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+	sorted := corpus.SortedNames()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] >= sorted[i] {
+			t.Fatalf("SortedNames not sorted at %d", i)
+		}
+	}
+}
+
+// TestAmbiguityGroundTruthConsistency: each entry's Ambiguous flag is the
+// corpus ground truth; sanity-check against conflict kinds where it is
+// cheaply decidable (unambiguous grammars must not be proven ambiguous by
+// the entry metadata contradicting itself).
+func TestAmbiguityGroundTruthConsistency(t *testing.T) {
+	for _, e := range corpus.All() {
+		if e.Ambiguous && e.PaperUnif == 0 && e.PaperTimeout == 0 && e.PaperNonunif == 0 {
+			t.Errorf("%s: ambiguous entry with no expected outcomes", e.Name)
+		}
+		if !e.Ambiguous && e.PaperUnif > 0 {
+			t.Errorf("%s: unambiguous entry expects unifying counterexamples", e.Name)
+		}
+	}
+}

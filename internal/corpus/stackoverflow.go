@@ -1,0 +1,248 @@
+package corpus
+
+// Reconstructions of the twelve StackOverflow / StackExchange grammars of
+// Table 1. The paper links to the original questions; the reconstructions
+// below reproduce the conflict *patterns* those questions concern (the kinds
+// of conflicts, whether the grammar is ambiguous, and the expected outcome
+// per conflict), at roughly the published sizes. Each Note states the
+// pattern.
+
+// stackexc01: math.stackexchange, "determining ambiguity in context-free
+// grammars" — an ambiguous expression grammar with binary operators and
+// juxtaposition.
+const stackexc01 = `
+expr : expr '+' expr
+     | expr expr
+     | '(' expr ')'
+     | 'a'
+     ;
+`
+
+// stackexc02: cstheory.stackexchange, "resolving ambiguity in an LALR
+// grammar with empty productions" — two nullable list prefixes force a
+// reduce/reduce decision the parser cannot make with one lookahead, yet the
+// grammar is unambiguous (the tail disambiguates).
+const stackexc02 = `
+s : alist 'x'
+  | blist 'y'
+  ;
+alist :            // empty
+      | alist 'a'
+      ;
+blist :            // empty
+      | blist 'a'
+      ;
+`
+
+// stackovf01: "Bison shift/reduce conflict for simple grammar" — a
+// palindrome-style rule that no amount of lookahead resolves, though the
+// grammar is unambiguous.
+const stackovf01 = `
+s : e ;
+e : 'a' e 'a'
+  | 'a'
+  ;
+`
+
+// stackovf02: "Issue resolving a shift-reduce conflict in my grammar" — an
+// expression grammar with two undeclared binary operators: four
+// shift/reduce conflicts, all genuine ambiguities.
+const stackovf02 = `
+stmt : expr ;
+expr : expr '+' expr
+     | expr '-' expr
+     | 'num'
+     ;
+`
+
+// stackovf03: "Bison complained conflicts: 1 shift/reduce" — one ambiguous
+// conflict from a rule that is both left- and right-recursive.
+const stackovf03 = `
+s : e ;
+e : e 'a' e
+  | 'b'
+  | 'c'
+  | '(' e ')'
+  ;
+`
+
+// stackovf04: "How to resolve a shift-reduce conflict in unambiguous
+// grammar" — a shared prefix whose disambiguating terminal arrives one token
+// too late (LR(2), unambiguous).
+const stackovf04 = `
+s : decl | stmt ;
+decl : name ':' 'type' ;
+stmt : label ':' 'id' ;
+name : 'id' ;
+label : 'id' ;
+`
+
+// stackovf05: "Bison/yacc reduce-reduce conflict for a specific grammar
+// example" — a dangling-else ambiguity in a small statement language.
+const stackovf05 = `
+stmt : matched | unmatched ;
+matched : 'if' expr 'then' stmt 'else' stmt
+        | 'other'
+        ;
+unmatched : 'if' expr 'then' stmt ;
+expr : 'cond' ;
+`
+
+// stackovf06: "How to resolve this shift-reduce conflict in yacc" — two
+// unambiguous LR(2) conflicts from optional trailing parts sharing a
+// delimiter.
+const stackovf06 = `
+file : entry | file entry ;
+entry : akey '=' 'num' ';'
+      | bkey '=' 'str' ';'
+      | '@' aname ':' 'num' ';'
+      | '@' bname ':' 'str' ';'
+      ;
+akey : 'id' ;
+bkey : 'id' ;
+aname : 'id' ;
+bname : 'id' ;
+`
+
+// stackovf07: "Why are there 3 parsing conflicts in my tiny grammar" — three
+// ambiguous conflicts from an operator lacking precedence plus list
+// juxtaposition.
+const stackovf07 = `
+prog : stmts ;
+stmts : stmt | stmts stmt ;
+stmt : expr ';' | assign ';' ;
+assign : 'id' '=' expr ;
+expr : term
+     | expr '&' expr
+     | expr term            // juxtaposition
+     ;
+term : 'id' | 'num' ;
+`
+
+// stackovf08: "shift/reduce conflicts in a simple grammar" — reduce/reduce
+// conflicts between two token classes that overlap on several members, all
+// resolvable with one more lookahead (unambiguous).
+const stackovf08 = `
+x : aword 'k' 'p'
+  | bword 'k' 'q'
+  ;
+aword : 'a' | 'b' | 'c' | 'd' | 'e' | 'f' | 'g' | 'h' ;
+bword : 'a' | 'b' | 'c' | 'd' | 'e' | 'f' | 'g' | 'h' ;
+`
+
+// stackovf09: "Why are these conflicts appearing in the following yacc
+// grammar for XML" — nested elements with an optional content list whose
+// closing tag arrives after the conflict point (unambiguous, not LALR).
+const stackovf09 = `
+doc : element ;
+element : '<' 'name' attrs1 '>' content '<' '/' 'name' '>'
+        | '<' 'name' attrs2 '/' '>'         // self-closing tag
+        ;
+attrs1 :                   // empty
+       | attrs1 'attr'
+       ;
+attrs2 :                   // empty
+       | attrs2 'attr'
+       ;
+content :                  // empty
+        | content item
+        ;
+item : 'text' | element ;
+`
+
+// stackovf10: "shift reduce conflict" — a statement/expression language with
+// four undeclared binary operators, unary minus, and a dangling else: many
+// conflicts, all ambiguities.
+const stackovf10 = `
+prog : stmts ;
+stmts : stmt | stmts stmt ;
+stmt : 'id' '=' expr ';'
+     | 'if' '(' expr ')' stmt
+     | 'if' '(' expr ')' stmt 'else' stmt
+     | '{' stmts '}'
+     ;
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '-' expr
+     | '(' expr ')'
+     | 'id'
+     | 'num'
+     ;
+`
+
+func init() {
+	register(&Entry{
+		Name: "stackexc01", Category: StackOverflow, Source: stackexc01, Ambiguous: true,
+		PaperNonterms: 2, PaperProds: 7, PaperStates: 13, PaperConflicts: 3,
+		PaperUnif: 3, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: ambiguous operators + juxtaposition",
+	})
+	register(&Entry{
+		Name: "stackexc02", Category: StackOverflow, Source: stackexc02, Ambiguous: false,
+		PaperNonterms: 6, PaperProds: 11, PaperStates: 15, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 1, PaperTimeout: 0,
+		Note: "reconstructed: nullable-list reduce/reduce, unambiguous",
+	})
+	register(&Entry{
+		Name: "stackovf01", Category: StackOverflow, Source: stackovf01, Ambiguous: false,
+		PaperNonterms: 2, PaperProds: 5, PaperStates: 9, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 1, PaperTimeout: 0,
+		Note: "reconstructed: palindrome rule, unambiguous non-LR",
+	})
+	register(&Entry{
+		Name: "stackovf02", Category: StackOverflow, Source: stackovf02, Ambiguous: true,
+		PaperNonterms: 2, PaperProds: 5, PaperStates: 9, PaperConflicts: 4,
+		PaperUnif: 4, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: two binary operators without precedence",
+	})
+	register(&Entry{
+		Name: "stackovf03", Category: StackOverflow, Source: stackovf03, Ambiguous: true,
+		PaperNonterms: 2, PaperProds: 6, PaperStates: 10, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: simultaneous left and right recursion",
+	})
+	register(&Entry{
+		Name: "stackovf04", Category: StackOverflow, Source: stackovf04, Ambiguous: false,
+		PaperNonterms: 5, PaperProds: 9, PaperStates: 13, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 1, PaperTimeout: 0,
+		Note: "reconstructed: shared id prefix, LR(2)",
+	})
+	register(&Entry{
+		Name: "stackovf05", Category: StackOverflow, Source: stackovf05, Ambiguous: true,
+		PaperNonterms: 5, PaperProds: 10, PaperStates: 14, PaperConflicts: 1,
+		PaperUnif: 1, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: dangling else via matched/unmatched split done wrong",
+	})
+	register(&Entry{
+		Name: "stackovf06", Category: StackOverflow, Source: stackovf06, Ambiguous: false,
+		PaperNonterms: 6, PaperProds: 10, PaperStates: 15, PaperConflicts: 2,
+		PaperUnif: 0, PaperNonunif: 2, PaperTimeout: 0,
+		Note: "reconstructed: list separator doubles as pair separator, LR(2)",
+	})
+	register(&Entry{
+		Name: "stackovf07", Category: StackOverflow, Source: stackovf07, Ambiguous: true,
+		PaperNonterms: 7, PaperProds: 12, PaperStates: 17, PaperConflicts: 3,
+		PaperUnif: 3, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: undeclared operator + juxtaposition ambiguities",
+	})
+	register(&Entry{
+		Name: "stackovf08", Category: StackOverflow, Source: stackovf08, Ambiguous: false,
+		PaperNonterms: 3, PaperProds: 13, PaperStates: 21, PaperConflicts: 8,
+		PaperUnif: 0, PaperNonunif: 8, PaperTimeout: 0,
+		Note: "reconstructed: overlapping token classes, reduce/reduce, LR(2)",
+	})
+	register(&Entry{
+		Name: "stackovf09", Category: StackOverflow, Source: stackovf09, Ambiguous: false,
+		PaperNonterms: 6, PaperProds: 12, PaperStates: 27, PaperConflicts: 1,
+		PaperUnif: 0, PaperNonunif: 1, PaperTimeout: 0,
+		Note: "reconstructed: XML-style nesting with shared open/close prefix",
+	})
+	register(&Entry{
+		Name: "stackovf10", Category: StackOverflow, Source: stackovf10, Ambiguous: true,
+		PaperNonterms: 9, PaperProds: 20, PaperStates: 53, PaperConflicts: 19,
+		PaperUnif: 19, PaperNonunif: 0, PaperTimeout: 0,
+		Note: "reconstructed: four undeclared operators, unary minus, dangling else",
+	})
+}

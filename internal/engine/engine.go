@@ -1,0 +1,175 @@
+// Package engine is a table-driven LR parser runtime: it executes the parse
+// tables built by internal/lr on token streams and produces parse trees. The
+// examples use it to run generated parsers, and the counterexample tests use
+// it to confirm that reported counterexamples really drive the parser into
+// the conflict state.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// Token is one lexed input token.
+type Token struct {
+	// Sym is the terminal symbol.
+	Sym grammar.Sym
+	// Text is the matched source text (may equal the terminal name).
+	Text string
+	// Pos is a 0-based position for error messages (byte offset or token
+	// index, at the lexer's discretion).
+	Pos int
+}
+
+// Node is a parse-tree node. Leaves have Prod == -1 and carry the token;
+// interior nodes carry the production that built them.
+type Node struct {
+	Sym      grammar.Sym
+	Prod     int
+	Children []*Node
+	Tok      Token
+}
+
+// Leaves appends the leaf tokens of the subtree to dst and returns it.
+func (n *Node) Leaves(dst []Token) []Token {
+	if n.Prod < 0 {
+		return append(dst, n.Tok)
+	}
+	for _, c := range n.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// Format renders the tree in the bracketed style of the paper's Figure 11:
+// nonterminal ::= [child child ...].
+func (n *Node) Format(g *grammar.Grammar) string {
+	var sb strings.Builder
+	n.format(g, &sb)
+	return sb.String()
+}
+
+func (n *Node) format(g *grammar.Grammar, sb *strings.Builder) {
+	if n.Prod < 0 {
+		sb.WriteString(g.Name(n.Sym))
+		return
+	}
+	sb.WriteString(g.Name(n.Sym))
+	sb.WriteString(" ::= [")
+	for i, c := range n.Children {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		c.format(g, sb)
+	}
+	sb.WriteByte(']')
+}
+
+// SyntaxError reports a parse failure with the offending token and state.
+type SyntaxError struct {
+	Tok      Token
+	State    int
+	Expected []grammar.Sym
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("syntax error at token %q (state %d)", e.Tok.Text, e.State)
+}
+
+// Parser executes one parse table.
+type Parser struct {
+	tbl *lr.Table
+	// TraceW, when non-nil, receives a line per parser action (for the
+	// examples' --trace mode).
+	TraceW interface{ Write(p []byte) (int, error) }
+}
+
+// New returns a Parser for the table.
+func New(tbl *lr.Table) *Parser { return &Parser{tbl: tbl} }
+
+// Parse consumes tokens (without an EOF marker; one is appended) and returns
+// the parse tree rooted at the grammar's start symbol.
+func (p *Parser) Parse(tokens []Token) (*Node, error) {
+	g := p.tbl.A.G
+	tokens = append(append([]Token(nil), tokens...), Token{Sym: grammar.EOF, Text: "$", Pos: -1})
+
+	type frame struct {
+		state int
+		node  *Node
+	}
+	stack := []frame{{state: 0}}
+	pos := 0
+	for {
+		st := stack[len(stack)-1].state
+		la := tokens[pos]
+		act, ok := p.tbl.Actions[st][la.Sym]
+		if !ok {
+			return nil, &SyntaxError{Tok: la, State: st, Expected: expected(p.tbl, st)}
+		}
+		switch act.Kind {
+		case lr.ActionShift:
+			p.tracef("shift %s -> state %d", la.Text, act.Target)
+			stack = append(stack, frame{act.Target, &Node{Sym: la.Sym, Prod: -1, Tok: la}})
+			if pos < len(tokens)-1 {
+				pos++
+			}
+		case lr.ActionReduce:
+			prod := g.Production(act.Target)
+			n := len(prod.RHS)
+			node := &Node{Sym: prod.LHS, Prod: act.Target, Children: make([]*Node, n)}
+			for i := 0; i < n; i++ {
+				node.Children[i] = stack[len(stack)-n+i].node
+			}
+			stack = stack[:len(stack)-n]
+			top := stack[len(stack)-1].state
+			next, ok := p.tbl.Gotos[top][prod.LHS]
+			if !ok {
+				return nil, fmt.Errorf("engine: no goto from state %d on %s (corrupt table)", top, g.Name(prod.LHS))
+			}
+			p.tracef("reduce %s; goto state %d", g.ProdString(act.Target), next)
+			stack = append(stack, frame{next, node})
+		case lr.ActionAccept:
+			p.tracef("accept")
+			// Stack: [start frame, startSym node, $ node].
+			if len(stack) < 3 {
+				return nil, errors.New("engine: accept with malformed stack")
+			}
+			return stack[len(stack)-2].node, nil
+		default:
+			return nil, &SyntaxError{Tok: la, State: st, Expected: expected(p.tbl, st)}
+		}
+	}
+}
+
+func (p *Parser) tracef(format string, args ...any) {
+	if p.TraceW != nil {
+		fmt.Fprintf(p.TraceW, format+"\n", args...)
+	}
+}
+
+func expected(tbl *lr.Table, state int) []grammar.Sym {
+	var out []grammar.Sym
+	for s := range tbl.Actions[state] {
+		out = append(out, s)
+	}
+	return out
+}
+
+// LexWords tokenizes whitespace-separated terminal names: each word must be
+// the name of a terminal in g. This is the standard input form for grammar
+// debugging, where inputs are written as token sequences.
+func LexWords(g *grammar.Grammar, src string) ([]Token, error) {
+	var toks []Token
+	for i, w := range strings.Fields(src) {
+		s, ok := g.Lookup(w)
+		if !ok || !g.IsTerminal(s) {
+			return nil, fmt.Errorf("engine: %q is not a terminal of the grammar", w)
+		}
+		toks = append(toks, Token{Sym: s, Text: w, Pos: i})
+	}
+	return toks, nil
+}

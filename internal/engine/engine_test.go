@@ -1,0 +1,195 @@
+package engine_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"lrcex/internal/engine"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+func compile(t *testing.T, src string) (*grammar.Grammar, *lr.Table) {
+	t.Helper()
+	g, err := gdl.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, lr.BuildTable(lr.Build(g))
+}
+
+const calcSrc = `
+%left '+' '-'
+%left '*' '/'
+expr : expr '+' expr
+     | expr '-' expr
+     | expr '*' expr
+     | expr '/' expr
+     | '(' expr ')'
+     | 'n'
+     ;
+`
+
+func parseWords(t *testing.T, g *grammar.Grammar, tbl *lr.Table, input string) (*engine.Node, error) {
+	t.Helper()
+	toks, err := engine.LexWords(g, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine.New(tbl).Parse(toks)
+}
+
+func TestParseSimple(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	tree, err := parseWords(t, g, tbl, "n + n * n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves(nil)
+	if len(leaves) != 5 {
+		t.Fatalf("leaves = %d, want 5", len(leaves))
+	}
+	// Left-assoc + with tighter *: the + node's right child is the * subtree.
+	f := tree.Format(g)
+	if want := "expr ::= [expr ::= [n] + expr ::= [expr ::= [n] * expr ::= [n]]]"; f != want {
+		t.Errorf("tree = %s\nwant  %s", f, want)
+	}
+}
+
+func TestParseAssociativity(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	tree, err := parseWords(t, g, tbl, "n - n - n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// %left: (n - n) - n.
+	f := tree.Format(g)
+	if want := "expr ::= [expr ::= [expr ::= [n] - expr ::= [n]] - expr ::= [n]]"; f != want {
+		t.Errorf("tree = %s\nwant  %s", f, want)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	tree, err := parseWords(t, g, tbl, "( n + n ) * n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Leaves(nil)); got != 7 {
+		t.Errorf("leaves = %d, want 7", got)
+	}
+}
+
+func TestSyntaxError(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	_, err := parseWords(t, g, tbl, "n + + n")
+	var serr *engine.SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want SyntaxError, got %v", err)
+	}
+	if serr.Tok.Text != "+" {
+		t.Errorf("error token = %q, want +", serr.Tok.Text)
+	}
+	if len(serr.Expected) == 0 {
+		t.Error("expected-set is empty")
+	}
+}
+
+func TestErrorAtEOF(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	_, err := parseWords(t, g, tbl, "n +")
+	var serr *engine.SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want SyntaxError at EOF, got %v", err)
+	}
+	if serr.Tok.Sym != grammar.EOF {
+		t.Errorf("error token = %v, want EOF", serr.Tok.Sym)
+	}
+}
+
+func TestEmptyInputError(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	if _, err := parseWords(t, g, tbl, ""); err == nil {
+		t.Error("empty input should not parse (expr is not nullable)")
+	}
+}
+
+func TestNullableAccept(t *testing.T) {
+	g, tbl := compile(t, `s : | s 'a' ;`)
+	tree, err := parseWords(t, g, tbl, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Leaves(nil)); got != 0 {
+		t.Errorf("empty parse has %d leaves", got)
+	}
+	tree2, err := parseWords(t, g, tbl, "a a a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree2.Leaves(nil)); got != 3 {
+		t.Errorf("leaves = %d, want 3", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	p := engine.New(tbl)
+	var buf bytes.Buffer
+	p.TraceW = &buf
+	toks, _ := engine.LexWords(g, "n + n")
+	if _, err := p.Parse(toks); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shift n", "reduce expr -> n", "accept"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLexWordsUnknown(t *testing.T) {
+	g, _ := compile(t, calcSrc)
+	if _, err := engine.LexWords(g, "n ? n"); err == nil {
+		t.Error("unknown word should fail lexing")
+	}
+	if _, err := engine.LexWords(g, "n expr n"); err == nil {
+		t.Error("nonterminal name should fail lexing")
+	}
+}
+
+// TestDanglingElseDefaultResolution: with the yacc default (shift wins), the
+// else binds to the inner if.
+func TestDanglingElseDefaultResolution(t *testing.T) {
+	g, tbl := compile(t, `
+stmt : 'if' 'e' 'then' stmt 'else' stmt
+     | 'if' 'e' 'then' stmt
+     | 'other'
+     ;
+`)
+	tree, err := parseWords(t, g, tbl, "if e then if e then other else other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outer production must be the short if (else consumed by the inner if).
+	if got := len(tree.Children); got != 4 {
+		t.Errorf("outer if has %d children, want 4 (shift wins)", got)
+	}
+}
+
+func TestParseTreeTokens(t *testing.T) {
+	g, tbl := compile(t, calcSrc)
+	toks, _ := engine.LexWords(g, "n * n")
+	tree, err := engine.New(tbl).Parse(toks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves(nil)
+	if leaves[1].Text != "*" || leaves[1].Pos != 1 {
+		t.Errorf("leaf[1] = %+v, want * at pos 1", leaves[1])
+	}
+}

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// GLR is a generalized LR driver: unlike Parser it follows *every* action in
+// conflicted table entries, forking the parse like Tomita's algorithm (the
+// paper's Section 8 relates counterexamples to GLR). The repository uses it
+// as an independent oracle: a unifying counterexample, once concretized to
+// terminals, must yield at least two distinct parse trees here.
+//
+// The implementation is a breadth-first simulation over parser stacks rather
+// than a graph-structured stack: worst-case exponential, but the inputs we
+// feed it (counterexamples) are short. MaxStacks bounds the fork count.
+type GLR struct {
+	tbl *lr.Table
+	// MaxStacks caps simultaneous stacks (default 4096).
+	MaxStacks int
+	// MaxTrees caps the number of parse trees returned (default 16).
+	MaxTrees int
+}
+
+// NewGLR returns a GLR driver for the table.
+func NewGLR(tbl *lr.Table) *GLR { return &GLR{tbl: tbl, MaxStacks: 4096, MaxTrees: 16} }
+
+// glrFrame is one stack entry.
+type glrFrame struct {
+	state int
+	node  *Node
+}
+
+// glrStack is an immutable stack (persistent list) so forks share structure.
+type glrStack struct {
+	frame glrFrame
+	prev  *glrStack
+	depth int
+}
+
+func (s *glrStack) push(f glrFrame) *glrStack {
+	return &glrStack{frame: f, prev: s, depth: s.depth + 1}
+}
+
+// ParseAll returns every distinct parse tree of the token stream, up to
+// MaxTrees. An empty slice means a syntax error on all branches.
+func (g *GLR) ParseAll(tokens []Token) ([]*Node, error) {
+	tokens = append(append([]Token(nil), tokens...), Token{Sym: grammar.EOF, Text: "$", Pos: -1})
+
+	root := &glrStack{frame: glrFrame{state: 0}}
+	stacks := []*glrStack{root}
+	var trees []*Node
+
+	for pos := 0; pos < len(tokens); pos++ {
+		la := tokens[pos]
+		// Close each stack under reductions for this lookahead, collecting
+		// the shift successors.
+		var next []*glrStack
+		work := append([]*glrStack(nil), stacks...)
+		seen := map[string]bool{}
+		for len(work) > 0 {
+			if len(work)+len(next) > g.MaxStacks {
+				return trees, fmt.Errorf("engine: GLR fork limit exceeded (%d stacks)", g.MaxStacks)
+			}
+			st := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, act := range g.actionsFor(st.frame.state, la.Sym) {
+				switch act.Kind {
+				case lr.ActionShift:
+					next = append(next, st.push(glrFrame{act.Target, &Node{Sym: la.Sym, Prod: -1, Tok: la}}))
+				case lr.ActionReduce:
+					ns, ok := g.reduce(st, act.Target)
+					if !ok {
+						continue
+					}
+					k := stackKey(ns)
+					if !seen[k] {
+						seen[k] = true
+						work = append(work, ns)
+					}
+				case lr.ActionAccept:
+					// The accept reduction fires after $ was shifted: the
+					// stack top is the $ leaf and below it the start
+					// symbol's completed tree.
+					if st.prev != nil && st.prev.frame.node != nil {
+						trees = appendDistinct(trees, st.prev.frame.node, g.MaxTrees)
+					}
+				}
+			}
+		}
+		stacks = dedupStacks(next)
+		if len(stacks) == 0 {
+			break
+		}
+	}
+	// Closing pass: stacks that shifted $ now sit in a state whose only item
+	// is START' -> start $ •; its reduction is the accept.
+	for _, st := range stacks {
+		for _, act := range g.actionsFor(st.frame.state, grammar.EOF) {
+			if act.Kind == lr.ActionAccept && st.prev != nil && st.prev.frame.node != nil {
+				trees = appendDistinct(trees, st.prev.frame.node, g.MaxTrees)
+			}
+		}
+	}
+	return trees, nil
+}
+
+// actionsFor lists every action available in a state under a terminal,
+// including those losing conflicts (reconstructed from the automaton, since
+// Table keeps only the winners).
+func (g *GLR) actionsFor(state int, t grammar.Sym) []lr.Action {
+	var out []lr.Action
+	a := g.tbl.A
+	st := a.States[state]
+	if tgt, ok := st.Trans[t]; ok {
+		out = append(out, lr.Action{Kind: lr.ActionShift, Target: tgt})
+	}
+	for idx, it := range st.Items {
+		if !a.IsReduce(it) {
+			continue
+		}
+		if !st.Lookahead[idx].Has(a.G.TermIndex(t)) {
+			continue
+		}
+		pid := a.Prod(it)
+		if pid == 0 {
+			out = append(out, lr.Action{Kind: lr.ActionAccept})
+		} else {
+			out = append(out, lr.Action{Kind: lr.ActionReduce, Target: pid})
+		}
+	}
+	return out
+}
+
+// reduce pops the production's RHS off the stack and pushes the goto state.
+func (g *GLR) reduce(st *glrStack, pid int) (*glrStack, bool) {
+	gr := g.tbl.A.G
+	prod := gr.Production(pid)
+	n := len(prod.RHS)
+	children := make([]*Node, n)
+	cur := st
+	for i := n - 1; i >= 0; i-- {
+		if cur.prev == nil {
+			return nil, false
+		}
+		children[i] = cur.frame.node
+		cur = cur.prev
+	}
+	next, ok := g.tbl.Gotos[cur.frame.state][prod.LHS]
+	if !ok {
+		return nil, false
+	}
+	node := &Node{Sym: prod.LHS, Prod: pid, Children: children}
+	return cur.push(glrFrame{next, node}), true
+}
+
+// stackKey identifies a stack by its state sequence and tree shapes (cheap
+// structural hash for the per-token dedup).
+func stackKey(s *glrStack) string {
+	b := make([]byte, 0, s.depth*6)
+	for cur := s; cur != nil; cur = cur.prev {
+		b = append(b, byte(cur.frame.state), byte(cur.frame.state>>8))
+		if cur.frame.node != nil {
+			b = append(b, nodeFingerprint(cur.frame.node)...)
+		}
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+func nodeFingerprint(n *Node) []byte {
+	var out []byte
+	var walk func(*Node)
+	walk = func(m *Node) {
+		out = append(out, byte(m.Prod+1), byte(m.Sym))
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+func dedupStacks(stacks []*glrStack) []*glrStack {
+	if len(stacks) <= 1 {
+		return stacks
+	}
+	seen := make(map[string]bool, len(stacks))
+	out := stacks[:0]
+	for _, s := range stacks {
+		k := stackKey(s)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func appendDistinct(trees []*Node, t *Node, max int) []*Node {
+	if len(trees) >= max {
+		return trees
+	}
+	fp := string(nodeFingerprint(t))
+	for _, u := range trees {
+		if string(nodeFingerprint(u)) == fp {
+			return trees
+		}
+	}
+	return append(trees, t)
+}
+
+// CountParses is a convenience wrapper: the number of distinct parse trees
+// (up to MaxTrees) for a terminal string given as symbol names.
+func (g *GLR) CountParses(words []grammar.Sym) (int, error) {
+	toks := make([]Token, len(words))
+	for i, s := range words {
+		toks[i] = Token{Sym: s, Text: g.tbl.A.G.Name(s), Pos: i}
+	}
+	trees, err := g.ParseAll(toks)
+	if err != nil {
+		return 0, err
+	}
+	return len(trees), nil
+}
+
+// Concretize rewrites a sentential form to a terminal string by expanding
+// each nonterminal to one fixed terminal expansion. Ambiguity of the
+// sentential form is preserved: the two derivations of a unifying
+// counterexample stay distinct after substituting identical subtrees for the
+// abstract leaves. It returns false if some nonterminal derives no terminal
+// string.
+//
+// Expansion follows a min-derivation-height production choice, which
+// guarantees termination (the chosen child heights strictly decrease) even
+// in the presence of unit cycles like s -> s.
+func Concretize(g *grammar.Grammar, syms []grammar.Sym) ([]grammar.Sym, bool) {
+	height, choice := minHeights(g)
+	var out []grammar.Sym
+	var expand func(s grammar.Sym) bool
+	expand = func(s grammar.Sym) bool {
+		if g.IsTerminal(s) {
+			out = append(out, s)
+			return true
+		}
+		if height[s] < 0 {
+			return false
+		}
+		for _, r := range g.Production(choice[s]).RHS {
+			if !expand(r) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range syms {
+		if !expand(s) {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// minHeights computes, per nonterminal, the minimal derivation-tree height
+// and a production achieving it (-1 height marks unproductive nonterminals).
+func minHeights(g *grammar.Grammar) (height []int, choice []int) {
+	const inf = int(^uint(0) >> 2)
+	n := g.NumSymbols()
+	height = make([]int, n)
+	choice = make([]int, n)
+	for s := 0; s < n; s++ {
+		if g.IsTerminal(grammar.Sym(s)) {
+			height[s] = 0
+		} else {
+			height[s] = inf
+			choice[s] = -1
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for pid := 1; pid < g.NumProductions(); pid++ {
+			p := g.Production(pid)
+			h := 0
+			for _, r := range p.RHS {
+				if height[r] >= inf {
+					h = inf
+					break
+				}
+				if height[r] > h {
+					h = height[r]
+				}
+			}
+			if h < inf && h+1 < height[p.LHS] {
+				height[p.LHS] = h + 1
+				choice[p.LHS] = pid
+				changed = true
+			}
+		}
+	}
+	for s := range height {
+		if height[s] >= inf {
+			height[s] = -1
+		}
+	}
+	return height, choice
+}

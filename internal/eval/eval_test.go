@@ -1,0 +1,110 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/eval"
+)
+
+// fastOpts keeps the whole-corpus measurement quick enough for CI while
+// preserving the outcome shape on all but the hardest conflicts.
+func fastOpts() eval.Options {
+	return eval.Options{Finder: core.Options{
+		PerConflictTimeout: 500 * time.Millisecond,
+		CumulativeTimeout:  5 * time.Second,
+	}}
+}
+
+// TestTable1Shape regenerates Table 1 with reduced budgets and checks the
+// shape claims that must hold regardless of machine speed:
+//
+//   - ambiguity verdicts: a unifying counterexample may only be reported for
+//     grammars whose ground truth is ambiguous, and grammars the paper found
+//     unifying examples for (outside the timeout-dominated rows) are proven
+//     ambiguous here too;
+//   - conflict coverage: every conflict receives some counterexample.
+func TestTable1Shape(t *testing.T) {
+	rows := eval.Table1(corpus.All(), fastOpts())
+	t.Logf("\n%s", eval.FormatRows(rows, false))
+	for _, r := range rows {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Name, r.Err)
+			continue
+		}
+		e, _ := corpus.Get(r.Name)
+		if r.Ambiguous && !e.Ambiguous {
+			t.Errorf("%s: unifying counterexample found for a grammar recorded unambiguous", r.Name)
+		}
+		if e.Ambiguous && e.PaperUnif > 0 && e.PaperTimeout == 0 && !r.Ambiguous && !strings.HasPrefix(r.Name, "Java") {
+			t.Errorf("%s: expected at least one unifying counterexample (paper found %d)", r.Name, e.PaperUnif)
+		}
+		if got := r.Unif + r.Nonunif + r.Timeout + r.Skipped; got != r.Conflicts {
+			t.Errorf("%s: outcomes %d != conflicts %d", r.Name, got, r.Conflicts)
+		}
+	}
+}
+
+// TestUnambiguousRowsNeverUnify: the rows whose grammars are unambiguous
+// must exhaust (or time out) but never produce a unifying counterexample,
+// even with generous budgets. This is the soundness half of the
+// semi-decision procedure.
+func TestUnambiguousRowsNeverUnify(t *testing.T) {
+	for _, e := range corpus.All() {
+		if e.Ambiguous {
+			continue
+		}
+		r := eval.Measure(e, fastOpts())
+		if r.Err != nil {
+			t.Errorf("%s: %v", e.Name, r.Err)
+			continue
+		}
+		if r.Unif > 0 {
+			t.Errorf("%s: %d unifying counterexamples for an unambiguous grammar", e.Name, r.Unif)
+		}
+	}
+}
+
+// TestMeasureRecordsComplexity sanity-checks the complexity columns against
+// the paper's for the exact rows, and that reconstructed rows are within an
+// order of magnitude (scale claim).
+func TestMeasureRecordsComplexity(t *testing.T) {
+	for _, e := range corpus.All() {
+		r := eval.Measure(e, eval.Options{Finder: core.Options{
+			PerConflictTimeout: 10 * time.Millisecond,
+			CumulativeTimeout:  100 * time.Millisecond,
+		}})
+		if r.Err != nil {
+			t.Errorf("%s: %v", e.Name, r.Err)
+			continue
+		}
+		if e.Exact {
+			if r.States != e.PaperStates || r.Prods != e.PaperProds {
+				t.Errorf("%s: exact row drifted: states %d/%d prods %d/%d",
+					e.Name, r.States, e.PaperStates, r.Prods, e.PaperProds)
+			}
+			continue
+		}
+		if r.States < e.PaperStates/10 || r.States > e.PaperStates*10 {
+			t.Errorf("%s: states %d not within 10x of paper's %d", e.Name, r.States, e.PaperStates)
+		}
+	}
+}
+
+// TestFormatRows checks the renderer's stability properties used by
+// EXPERIMENTS.md.
+func TestFormatRows(t *testing.T) {
+	e, _ := corpus.Get("figure1")
+	rows := []eval.Row{eval.Measure(e, fastOpts())}
+	out := eval.FormatRows(rows, false)
+	if !strings.Contains(out, "figure1") || !strings.Contains(out, "#conflicts") {
+		t.Errorf("renderer output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Errorf("want header + 1 row, got %d lines", len(lines))
+	}
+}

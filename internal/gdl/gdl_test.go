@@ -1,0 +1,204 @@
+package gdl_test
+
+import (
+	"strings"
+	"testing"
+
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+)
+
+func TestParseBasics(t *testing.T) {
+	g, err := gdl.Parse("t", `
+s : 'a' b ;
+b : 'c' | ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumProductions(); got != 4 { // aug + s + 2×b
+		t.Errorf("productions = %d, want 4", got)
+	}
+	b, ok := g.Lookup("b")
+	if !ok || g.IsTerminal(b) {
+		t.Error("b should be a nonterminal")
+	}
+	if !g.Nullable(b) {
+		t.Error("b should be nullable (empty alternative)")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	g, err := gdl.Parse("t", `
+// line comment
+s : 'a' /* block
+comment */ | 'b' ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NumProductions(); got != 3 {
+		t.Errorf("productions = %d, want 3", got)
+	}
+}
+
+func TestImplicitTerminals(t *testing.T) {
+	g, err := gdl.Parse("t", `s : IDENT NUM ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"IDENT", "NUM"} {
+		s, ok := g.Lookup(name)
+		if !ok || !g.IsTerminal(s) {
+			t.Errorf("%s should be an implicit terminal", name)
+		}
+	}
+}
+
+func TestTokenDirective(t *testing.T) {
+	_, err := gdl.Parse("t", "%token s\ns : 'a' ;")
+	if err == nil || !strings.Contains(err.Error(), "also appears as a rule LHS") {
+		t.Errorf("conflicting %%token should fail, got %v", err)
+	}
+}
+
+func TestPrecedenceLevels(t *testing.T) {
+	g, err := gdl.Parse("t", `
+%left '+' '-'
+%left '*'
+%right UMINUS
+%nonassoc '=='
+e : e '+' e | e '*' e | '-' e %prec UMINUS | 'n' ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, level int, assoc grammar.Assoc) {
+		t.Helper()
+		s, _ := g.Lookup(name)
+		l, a := g.Prec(s)
+		if l != level || a != assoc {
+			t.Errorf("%s: prec=(%d,%v), want (%d,%v)", name, l, a, level, assoc)
+		}
+	}
+	check("+", 1, grammar.AssocLeft)
+	check("-", 1, grammar.AssocLeft)
+	check("*", 2, grammar.AssocLeft)
+	check("UMINUS", 3, grammar.AssocRight)
+	check("==", 4, grammar.AssocNone)
+
+	// The unary-minus production must carry UMINUS's level via %prec.
+	found := false
+	for i := 1; i < g.NumProductions(); i++ {
+		p := g.Production(i)
+		if len(p.RHS) == 2 && g.IsTerminal(p.RHS[0]) {
+			found = true
+			if p.Prec != 3 {
+				t.Errorf("unary production precedence = %d, want 3", p.Prec)
+			}
+		}
+	}
+	if !found {
+		t.Error("unary production not found")
+	}
+}
+
+func TestDirectivesAreLineScoped(t *testing.T) {
+	// Without line scoping, %left would swallow "e" as a precedence name.
+	g, err := gdl.Parse("t", "%left '+'\ne : e '+' e | 'n' ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := g.Lookup("e")
+	if !ok || g.IsTerminal(e) {
+		t.Fatal("e must be a nonterminal")
+	}
+	if l, _ := g.Prec(g.TermAt(1)); l == 0 {
+		// terminal index 1 is '+' (index 0 is EOF)
+		t.Error("'+' lost its precedence")
+	}
+}
+
+func TestStartDirective(t *testing.T) {
+	g, err := gdl.Parse("t", "%start b\na : 'x' ;\nb : a 'y' ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.Lookup("b")
+	if g.StartSym() != b {
+		t.Errorf("start = %s, want b", g.Name(g.StartSym()))
+	}
+}
+
+func TestMultiRuleSameLHS(t *testing.T) {
+	g, err := gdl.Parse("t", `
+e : 'a' ;
+e : 'b' ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.Lookup("e")
+	if got := len(g.ProductionsOf(e)); got != 2 {
+		t.Errorf("e has %d productions, want 2 (rule blocks merge)", got)
+	}
+}
+
+func TestQuotedMultiCharTerminals(t *testing.T) {
+	g, err := gdl.Parse("t", `s : ':=' '<<=' "::" ;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{":=", "<<=", "::"} {
+		if s, ok := g.Lookup(name); !ok || !g.IsTerminal(s) {
+			t.Errorf("terminal %q missing", name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "no rules"},
+		{"unterminated block comment", "/* oops", "unterminated block comment"},
+		{"unterminated quote", "s : 'a ;", "unterminated quoted terminal"},
+		{"empty quote", "s : '' ;", "empty quoted terminal"},
+		{"bare percent", "% s : 'a' ;", "bare %"},
+		{"unknown directive", "%frobnicate x\ns : 'a' ;", "unknown directive"},
+		{"missing colon", "s 'a' ;", "expected ':'"},
+		{"missing semicolon", "s : 'a'", `expected '|' or ';'`},
+		{"prec on nonterminal", "s : a %prec a ;\na : 'x' ;", "%prec a is a nonterminal"},
+		{"empty prec level", "%left\ns : 'a' ;", "requires at least one terminal"},
+		{"start not a rule", "%start zzz\ns : 'a' ;", "is not a rule LHS"},
+		{"prec for nonterminal", "%left s\ns : 'a' ;", "precedence declared for nonterminal"},
+		{"stray char", "s : 'a' # ;", "unexpected character"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := gdl.Parse("t", tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on a bad grammar")
+		}
+	}()
+	gdl.MustParse("bad", "not a grammar %")
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	_, err := gdl.Parse("file.cfg", "s : 'a' ;\n\nx 'b' ;")
+	if err == nil || !strings.Contains(err.Error(), "file.cfg:3") {
+		t.Errorf("error should carry file:line, got %v", err)
+	}
+}

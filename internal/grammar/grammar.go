@@ -1,0 +1,338 @@
+package grammar
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Production is one grammar rule A -> X1 X2 ... Xn. The zero production id is
+// always the augmented start production Start -> realStart EOF-free form
+// (Start -> realStart), mirroring the paper's START -> . stmt $ item where $
+// is the end-of-input lookahead rather than a grammar symbol.
+type Production struct {
+	// ID is the dense production index within the grammar.
+	ID int
+	// LHS is the nonterminal being defined.
+	LHS Sym
+	// RHS is the, possibly empty, sequence of symbols produced.
+	RHS []Sym
+	// Prec is the precedence level used for shift/reduce resolution: the
+	// declared %prec terminal's level, or the level of the last terminal in
+	// RHS, or 0 when neither exists.
+	Prec int
+	// PrecSym is the terminal whose precedence the production uses, or NoSym.
+	PrecSym Sym
+}
+
+// Grammar is an immutable context-free grammar after Build: symbol table,
+// productions, and per-nonterminal production indices. Analyses (nullability,
+// FIRST) are computed once by Build and exposed through methods.
+type Grammar struct {
+	syms  []symbolInfo
+	names map[string]Sym
+
+	prods    []Production
+	byLHS    [][]int // nonterminal -> production ids
+	numTerms int     // count of terminals (ids are not contiguous)
+
+	// terminal enumeration: termIndex[sym] = dense terminal index, terms is
+	// the inverse. EOF is always terminal index 0.
+	termIndex []int
+	terms     []Sym
+
+	nullable []bool    // indexed by Sym
+	first    []TermSet // indexed by Sym; for terminals, the singleton set
+	derivesE bool      // whether any symbol is nullable (cheap flag for tests)
+}
+
+// Builder accumulates symbols and productions and produces an immutable
+// Grammar. The zero Builder is ready to use.
+type Builder struct {
+	g      Grammar
+	start  Sym
+	frozen bool
+	errs   []error
+}
+
+// NewBuilder returns a Builder pre-populated with the EOF terminal and the
+// augmented start nonterminal.
+func NewBuilder() *Builder {
+	b := &Builder{}
+	b.g.names = make(map[string]Sym)
+	b.g.syms = []symbolInfo{
+		{name: "$", kind: Terminal},
+		{name: "START'", kind: Nonterminal},
+	}
+	b.g.names["$"] = EOF
+	b.g.names["START'"] = Start
+	b.start = NoSym
+	return b
+}
+
+// Terminal interns a terminal symbol by name, returning its id. Declaring the
+// same name twice returns the same id; re-declaring it as a nonterminal is an
+// error reported by Build.
+func (b *Builder) Terminal(name string) Sym { return b.intern(name, Terminal) }
+
+// Nonterminal interns a nonterminal symbol by name, returning its id.
+func (b *Builder) Nonterminal(name string) Sym { return b.intern(name, Nonterminal) }
+
+func (b *Builder) intern(name string, k Kind) Sym {
+	if s, ok := b.g.names[name]; ok {
+		if b.g.syms[s].kind != k {
+			b.errs = append(b.errs, fmt.Errorf("grammar: symbol %q used as both %v and %v", name, b.g.syms[s].kind, k))
+		}
+		return s
+	}
+	s := Sym(len(b.g.syms))
+	b.g.syms = append(b.g.syms, symbolInfo{name: name, kind: k})
+	b.g.names[name] = s
+	return s
+}
+
+// SetPrec declares precedence and associativity for a terminal. Level must be
+// positive; higher levels bind tighter.
+func (b *Builder) SetPrec(t Sym, level int, a Assoc) {
+	if int(t) >= len(b.g.syms) || b.g.syms[t].kind != Terminal {
+		b.errs = append(b.errs, fmt.Errorf("grammar: SetPrec on non-terminal symbol id %d", t))
+		return
+	}
+	if level <= 0 {
+		b.errs = append(b.errs, fmt.Errorf("grammar: precedence level for %q must be positive, got %d", b.g.syms[t].name, level))
+		return
+	}
+	b.g.syms[t].prec = level
+	b.g.syms[t].assoc = a
+}
+
+// SetStart declares the user-facing start nonterminal. If never called, the
+// LHS of the first added production is used.
+func (b *Builder) SetStart(s Sym) { b.start = s }
+
+// Add appends a production. precSym, when not NoSym, is the %prec terminal
+// overriding the production's precedence.
+func (b *Builder) Add(lhs Sym, rhs []Sym, precSym Sym) int {
+	if int(lhs) >= len(b.g.syms) || b.g.syms[lhs].kind != Nonterminal {
+		b.errs = append(b.errs, fmt.Errorf("grammar: production LHS id %d is not a nonterminal", lhs))
+	}
+	if b.start == NoSym && lhs != Start {
+		b.start = lhs
+	}
+	for _, r := range rhs {
+		if r == EOF {
+			b.errs = append(b.errs, fmt.Errorf("grammar: the end-of-input symbol may not appear in a production"))
+		}
+	}
+	p := Production{ID: len(b.g.prods), LHS: lhs, RHS: append([]Sym(nil), rhs...), PrecSym: NoSym}
+	if precSym != NoSym {
+		p.PrecSym = precSym
+	} else {
+		for i := len(rhs) - 1; i >= 0; i-- {
+			if b.g.syms[rhs[i]].kind == Terminal {
+				p.PrecSym = rhs[i]
+				break
+			}
+		}
+	}
+	b.g.prods = append(b.g.prods, p)
+	return p.ID
+}
+
+// Build validates the grammar, augments it with START' -> start, runs the
+// analyses, and returns the immutable Grammar. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Grammar, error) {
+	if b.frozen {
+		return nil, errors.New("grammar: Build called twice")
+	}
+	b.frozen = true
+	if b.start == NoSym {
+		return nil, errors.New("grammar: no productions and no start symbol")
+	}
+	// Augmented production must be production 0: prepend START' -> start $,
+	// with the end-of-input terminal as an explicit symbol, exactly as the
+	// paper's Figure 5 item START -> . stmt $ (and as CUP builds it). The
+	// parser accepts upon completing this production.
+	aug := Production{ID: 0, LHS: Start, RHS: []Sym{b.start, EOF}, PrecSym: NoSym}
+	prods := make([]Production, 0, len(b.g.prods)+1)
+	prods = append(prods, aug)
+	for _, p := range b.g.prods {
+		p.ID = len(prods)
+		prods = append(prods, p)
+	}
+	b.g.prods = prods
+
+	g := &b.g
+	g.byLHS = make([][]int, len(g.syms))
+	for _, p := range g.prods {
+		if g.syms[p.LHS].kind == Nonterminal {
+			g.byLHS[p.LHS] = append(g.byLHS[p.LHS], p.ID)
+		}
+	}
+
+	g.termIndex = make([]int, len(g.syms))
+	for i := range g.termIndex {
+		g.termIndex[i] = -1
+	}
+	for s, info := range g.syms {
+		if info.kind == Terminal {
+			g.termIndex[s] = len(g.terms)
+			g.terms = append(g.terms, Sym(s))
+		}
+	}
+	g.numTerms = len(g.terms)
+
+	if err := b.validate(); err != nil {
+		return nil, err
+	}
+	// Resolve production precedence now that SetPrec calls are all in.
+	for i := range g.prods {
+		if ps := g.prods[i].PrecSym; ps != NoSym {
+			g.prods[i].Prec = g.syms[ps].prec
+		}
+	}
+	g.computeNullable()
+	g.computeFirst()
+	return g, nil
+}
+
+func (b *Builder) validate() error {
+	g := &b.g
+	for s, info := range g.syms {
+		if info.kind == Nonterminal && Sym(s) != Start && len(g.byLHS[s]) == 0 {
+			b.errs = append(b.errs, fmt.Errorf("grammar: nonterminal %q has no productions", info.name))
+		}
+	}
+	if len(b.errs) > 0 {
+		msgs := make([]string, len(b.errs))
+		for i, e := range b.errs {
+			msgs[i] = e.Error()
+		}
+		return errors.New(strings.Join(msgs, "; "))
+	}
+	return nil
+}
+
+// NumSymbols returns the total number of interned symbols (terminals and
+// nonterminals, including EOF and the augmented start).
+func (g *Grammar) NumSymbols() int { return len(g.syms) }
+
+// NumTerminals returns the number of terminals, including EOF.
+func (g *Grammar) NumTerminals() int { return g.numTerms }
+
+// NumProductions returns the number of productions, including the augmented
+// start production (id 0).
+func (g *Grammar) NumProductions() int { return len(g.prods) }
+
+// Production returns the production with the given id.
+func (g *Grammar) Production(id int) Production { return g.prods[id] }
+
+// ProductionsOf returns the ids of all productions whose LHS is n.
+func (g *Grammar) ProductionsOf(n Sym) []int { return g.byLHS[n] }
+
+// StartSym returns the user-declared start nonterminal (the RHS of the
+// augmented production).
+func (g *Grammar) StartSym() Sym { return g.prods[0].RHS[0] }
+
+// Name returns the symbol's declared name ("$" for EOF).
+func (g *Grammar) Name(s Sym) string { return g.syms[s].name }
+
+// KindOf returns whether s is a terminal or nonterminal.
+func (g *Grammar) KindOf(s Sym) Kind { return g.syms[s].kind }
+
+// IsTerminal reports whether s is a terminal.
+func (g *Grammar) IsTerminal(s Sym) bool { return g.syms[s].kind == Terminal }
+
+// Lookup returns the symbol with the given name, if any.
+func (g *Grammar) Lookup(name string) (Sym, bool) {
+	s, ok := g.names[name]
+	return s, ok
+}
+
+// Prec returns the declared precedence level and associativity of terminal t.
+func (g *Grammar) Prec(t Sym) (int, Assoc) { return g.syms[t].prec, g.syms[t].assoc }
+
+// TermIndex maps a terminal symbol to its dense terminal index (EOF is 0).
+// It returns -1 for nonterminals.
+func (g *Grammar) TermIndex(s Sym) int { return g.termIndex[s] }
+
+// TermAt is the inverse of TermIndex.
+func (g *Grammar) TermAt(i int) Sym { return g.terms[i] }
+
+// Nullable reports whether symbol s can derive the empty string. Terminals
+// are never nullable.
+func (g *Grammar) Nullable(s Sym) bool { return g.nullable[s] }
+
+// First returns the FIRST set of symbol s as a TermSet over dense terminal
+// indices. The returned set must not be mutated.
+func (g *Grammar) First(s Sym) TermSet { return g.first[s] }
+
+// NumNonterminals returns the count of nonterminals, including the augmented
+// start.
+func (g *Grammar) NumNonterminals() int { return len(g.syms) - g.numTerms }
+
+// Nonterminals returns the ids of all nonterminals except the augmented
+// start, in id order.
+func (g *Grammar) Nonterminals() []Sym {
+	var out []Sym
+	for s, info := range g.syms {
+		if info.kind == Nonterminal && Sym(s) != Start {
+			out = append(out, Sym(s))
+		}
+	}
+	return out
+}
+
+// Terminals returns the ids of all terminals except EOF, in id order.
+func (g *Grammar) Terminals() []Sym {
+	var out []Sym
+	for _, s := range g.terms {
+		if s != EOF {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SymString renders a symbol sequence as space-separated names.
+func (g *Grammar) SymString(syms []Sym) string {
+	parts := make([]string, len(syms))
+	for i, s := range syms {
+		parts[i] = g.Name(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// ProdString renders a production as "lhs -> rhs...".
+func (g *Grammar) ProdString(id int) string {
+	p := g.prods[id]
+	if len(p.RHS) == 0 {
+		return g.Name(p.LHS) + " ->"
+	}
+	return g.Name(p.LHS) + " -> " + g.SymString(p.RHS)
+}
+
+// String renders the full grammar, one production per line, grouped by LHS in
+// first-definition order.
+func (g *Grammar) String() string {
+	var sb strings.Builder
+	order := make([]Sym, 0, len(g.byLHS))
+	seen := make(map[Sym]bool)
+	for _, p := range g.prods {
+		if !seen[p.LHS] {
+			seen[p.LHS] = true
+			order = append(order, p.LHS)
+		}
+	}
+	for _, lhs := range order {
+		ids := append([]int(nil), g.byLHS[lhs]...)
+		sort.Ints(ids)
+		for _, id := range ids {
+			sb.WriteString(g.ProdString(id))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

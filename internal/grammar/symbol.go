@@ -1,0 +1,84 @@
+// Package grammar defines context-free grammars and the analyses the
+// counterexample finder depends on: symbol interning, production bookkeeping,
+// nullability, FIRST sets, and the precise follow sets (followL) of
+// Isradisaikul & Myers, PLDI 2015, Section 4.
+//
+// Symbols are interned per Grammar and referred to by dense integer ids so
+// that the LR construction and the counterexample search can use slices and
+// bitsets instead of maps on hot paths.
+package grammar
+
+import "fmt"
+
+// Sym identifies a grammar symbol within one Grammar. Terminal and
+// nonterminal symbols share a single id space; id 0 is always EOF and id 1 is
+// always the augmented start nonterminal.
+type Sym int32
+
+// Reserved symbol ids present in every Grammar.
+const (
+	// EOF is the end-of-input terminal, written "$" in reports.
+	EOF Sym = 0
+	// Start is the augmented start nonterminal added by Augment.
+	Start Sym = 1
+)
+
+// NoSym marks the absence of a symbol (for example, no %prec override).
+const NoSym Sym = -1
+
+// Kind distinguishes terminals from nonterminals.
+type Kind uint8
+
+// Symbol kinds.
+const (
+	Terminal Kind = iota
+	Nonterminal
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Terminal:
+		return "terminal"
+	case Nonterminal:
+		return "nonterminal"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Assoc is the associativity of a terminal used during precedence-based
+// conflict resolution (Section 2.4 of the paper).
+type Assoc uint8
+
+// Associativity values. AssocNone means the terminal has a precedence level
+// but no associativity (%nonassoc); AssocUndefined means no precedence was
+// declared at all.
+const (
+	AssocUndefined Assoc = iota
+	AssocLeft
+	AssocRight
+	AssocNone
+)
+
+func (a Assoc) String() string {
+	switch a {
+	case AssocUndefined:
+		return "undefined"
+	case AssocLeft:
+		return "left"
+	case AssocRight:
+		return "right"
+	case AssocNone:
+		return "nonassoc"
+	default:
+		return fmt.Sprintf("Assoc(%d)", uint8(a))
+	}
+}
+
+// symbolInfo is the per-symbol record held by a Grammar.
+type symbolInfo struct {
+	name  string
+	kind  Kind
+	assoc Assoc
+	prec  int // 0 = undeclared; higher binds tighter
+}

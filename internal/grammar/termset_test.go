@@ -1,0 +1,182 @@
+package grammar
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randSet builds a TermSet from a list of indices in [0, 200).
+func randSet(idxs []uint8) TermSet {
+	s := NewTermSet(200)
+	for _, i := range idxs {
+		s.Add(int(i) % 200)
+	}
+	return s
+}
+
+// genSet is a quick.Generator-compatible random set.
+type setSpec []uint8
+
+func (setSpec) Generate(r *rand.Rand, size int) reflect.Value {
+	n := r.Intn(size + 1)
+	out := make(setSpec, n)
+	for i := range out {
+		out[i] = uint8(r.Intn(200))
+	}
+	return reflect.ValueOf(out)
+}
+
+func TestTermSetAddHas(t *testing.T) {
+	f := func(spec setSpec) bool {
+		s := randSet(spec)
+		for _, i := range spec {
+			if !s.Has(int(i) % 200) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSetElemsSortedUnique(t *testing.T) {
+	f := func(spec setSpec) bool {
+		s := randSet(spec)
+		elems := s.Elems()
+		if !sort.IntsAreSorted(elems) {
+			return false
+		}
+		for i := 1; i < len(elems); i++ {
+			if elems[i] == elems[i-1] {
+				return false
+			}
+		}
+		return s.Len() == len(elems)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSetUnionCommutative(t *testing.T) {
+	f := func(a, b setSpec) bool {
+		x, y := randSet(a), randSet(b)
+		u1 := x.Clone()
+		u1.Union(y)
+		u2 := y.Clone()
+		u2.Union(x)
+		return u1.Equal(u2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSetUnionIdempotent(t *testing.T) {
+	f := func(a setSpec) bool {
+		x := randSet(a)
+		u := x.Clone()
+		changed := u.Union(x)
+		return !changed && u.Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSetIntersection(t *testing.T) {
+	f := func(a, b setSpec) bool {
+		x, y := randSet(a), randSet(b)
+		inter := x.Intersection(y)
+		for _, e := range inter.Elems() {
+			if !x.Has(e) || !y.Has(e) {
+				return false
+			}
+		}
+		// Everything in both must be in the intersection.
+		for _, e := range x.Elems() {
+			if y.Has(e) && !inter.Has(e) {
+				return false
+			}
+		}
+		return x.Intersects(y) == !inter.IsEmpty()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTermSetCloneIndependent(t *testing.T) {
+	s := NewTermSet(10)
+	s.Add(3)
+	c := s.Clone()
+	c.Add(7)
+	if s.Has(7) {
+		t.Error("mutating the clone affected the original")
+	}
+	if !c.Has(3) {
+		t.Error("clone lost an element")
+	}
+}
+
+func TestTermSetGrowth(t *testing.T) {
+	var s TermSet // zero value
+	if s.Has(100) {
+		t.Error("zero set has elements")
+	}
+	if !s.Add(129) {
+		t.Error("Add to zero set reported no change")
+	}
+	if !s.Has(129) || s.Has(128) || s.Has(130) {
+		t.Error("growth around word boundary wrong")
+	}
+}
+
+func TestTermSetEqualAcrossSizes(t *testing.T) {
+	a := NewTermSet(10)
+	b := NewTermSet(500)
+	a.Add(5)
+	b.Add(5)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("equal sets with different capacities compare unequal")
+	}
+	b.Add(400)
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("unequal sets compare equal")
+	}
+}
+
+func TestInternerDeduplicates(t *testing.T) {
+	in := NewTermSetInterner()
+	f := func(a, b setSpec) bool {
+		x, y := randSet(a), randSet(b)
+		ix1, ix2 := in.Intern(x), in.Intern(x.Clone())
+		iy := in.Intern(y)
+		if ix1 != ix2 {
+			return false
+		}
+		if x.Equal(y) != (ix1 == iy) {
+			return false
+		}
+		return in.Get(ix1).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternerIsolatesMutation(t *testing.T) {
+	in := NewTermSetInterner()
+	s := NewTermSet(10)
+	s.Add(1)
+	id := in.Intern(s)
+	s.Add(2) // mutating the original must not affect the interned copy
+	if in.Get(id).Has(2) {
+		t.Error("interner shares storage with the caller's set")
+	}
+}

@@ -1,0 +1,195 @@
+package lr
+
+import (
+	"sort"
+
+	"lrcex/internal/grammar"
+)
+
+// State is one LR(0) state enriched with LALR(1) lookahead sets.
+type State struct {
+	// ID is the dense state number; state 0 is the start state.
+	ID int
+	// AccessSym is the symbol on whose transition this state is entered
+	// (every LR state has a unique accessing symbol); NoSym for state 0.
+	AccessSym grammar.Sym
+	// Items lists kernel items followed by closure items, each group sorted
+	// by item id. Kernel holds the kernel prefix length.
+	Items  []Item
+	Kernel int
+	// Lookahead is parallel to Items: the LALR(1) lookahead set of each item.
+	Lookahead []grammar.TermSet
+	// Trans maps a symbol to the successor state (shift for terminals, goto
+	// for nonterminals).
+	Trans map[grammar.Sym]int
+
+	itemPos map[Item]int // item -> index in Items
+}
+
+// Automaton is the LALR(1) parser state machine for a grammar.
+type Automaton struct {
+	G      *grammar.Grammar
+	States []*State
+
+	items *itemTable
+	// preds[s] lists the states with a transition into s (necessarily on
+	// s.AccessSym).
+	preds [][]int
+}
+
+// HasItem reports whether the state contains the item, and its index.
+func (s *State) HasItem(i Item) (int, bool) {
+	idx, ok := s.itemPos[i]
+	return idx, ok
+}
+
+// LookaheadOf returns the LALR lookahead set of item i in the given state.
+func (a *Automaton) LookaheadOf(state int, i Item) (grammar.TermSet, bool) {
+	s := a.States[state]
+	idx, ok := s.itemPos[i]
+	if !ok {
+		return grammar.TermSet{}, false
+	}
+	return s.Lookahead[idx], true
+}
+
+// Goto returns the successor of state s on symbol x, or -1.
+func (a *Automaton) Goto(s int, x grammar.Sym) int {
+	if t, ok := a.States[s].Trans[x]; ok {
+		return t
+	}
+	return -1
+}
+
+// Predecessors returns the states with a transition into s.
+func (a *Automaton) Predecessors(s int) []int { return a.preds[s] }
+
+// StartItem returns the item START' -> . start $.
+func (a *Automaton) StartItem() Item { return a.ItemOf(0, 0) }
+
+// AcceptItem returns the item START' -> start . $, whose shift of the
+// end-of-input terminal accepts the input.
+func (a *Automaton) AcceptItem() Item { return a.ItemOf(0, 1) }
+
+// Build constructs the LALR(1) automaton for g: LR(0) canonical collection,
+// then LALR lookaheads for every kernel and closure item.
+func Build(g *grammar.Grammar) *Automaton {
+	a := &Automaton{G: g, items: newItemTable(g)}
+	a.buildLR0()
+	a.computeLALR()
+	return a
+}
+
+// closure expands a sorted kernel item set to the full LR(0) item set.
+func (a *Automaton) closure(kernel []Item) []Item {
+	g := a.G
+	inSet := make(map[Item]bool, len(kernel)*4)
+	items := append([]Item(nil), kernel...)
+	for _, i := range kernel {
+		inSet[i] = true
+	}
+	for w := 0; w < len(items); w++ {
+		x := a.DotSym(items[w])
+		if x == grammar.NoSym || g.IsTerminal(x) {
+			continue
+		}
+		for _, pid := range g.ProductionsOf(x) {
+			it := a.ItemOf(pid, 0)
+			if !inSet[it] {
+				inSet[it] = true
+				items = append(items, it)
+			}
+		}
+	}
+	// Sort the closure suffix for determinism; the kernel prefix is already
+	// sorted by the caller.
+	tail := items[len(kernel):]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return items
+}
+
+func kernelKey(kernel []Item) string {
+	b := make([]byte, 0, len(kernel)*4)
+	for _, i := range kernel {
+		b = append(b, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+	}
+	return string(b)
+}
+
+func (a *Automaton) buildLR0() {
+	type pending struct {
+		kernel []Item
+		access grammar.Sym
+	}
+	stateOf := make(map[string]int)
+
+	newState := func(kernel []Item, access grammar.Sym) int {
+		id := len(a.States)
+		items := a.closure(kernel)
+		st := &State{
+			ID:        id,
+			AccessSym: access,
+			Items:     items,
+			Kernel:    len(kernel),
+			Trans:     make(map[grammar.Sym]int),
+			itemPos:   make(map[Item]int, len(items)),
+		}
+		for idx, it := range items {
+			st.itemPos[it] = idx
+		}
+		a.States = append(a.States, st)
+		stateOf[kernelKey(kernel)] = id
+		return id
+	}
+
+	start := []Item{a.StartItem()}
+	newState(start, grammar.NoSym)
+
+	for w := 0; w < len(a.States); w++ {
+		st := a.States[w]
+		// Group items by their dot symbol to form successor kernels.
+		bySym := make(map[grammar.Sym][]Item)
+		var order []grammar.Sym
+		for _, it := range st.Items {
+			x := a.DotSym(it)
+			if x == grammar.NoSym {
+				continue
+			}
+			if _, seen := bySym[x]; !seen {
+				order = append(order, x)
+			}
+			bySym[x] = append(bySym[x], it+1)
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, x := range order {
+			kernel := bySym[x]
+			sort.Slice(kernel, func(i, j int) bool { return kernel[i] < kernel[j] })
+			key := kernelKey(kernel)
+			target, ok := stateOf[key]
+			if !ok {
+				target = newState(kernel, x)
+			}
+			st.Trans[x] = target
+		}
+	}
+
+	a.preds = make([][]int, len(a.States))
+	for _, st := range a.States {
+		for _, t := range sortedTargets(st.Trans) {
+			a.preds[t] = append(a.preds[t], st.ID)
+		}
+	}
+}
+
+func sortedTargets(trans map[grammar.Sym]int) []int {
+	syms := make([]grammar.Sym, 0, len(trans))
+	for s := range trans {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	out := make([]int, len(syms))
+	for i, s := range syms {
+		out[i] = trans[s]
+	}
+	return out
+}

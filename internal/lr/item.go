@@ -1,0 +1,117 @@
+// Package lr constructs LALR(1) parser state machines: the LR(0) canonical
+// collection, LALR(1) lookahead sets for every item (kernel items via
+// spontaneous-generation/propagation, closure items via an in-state fixpoint),
+// the parse table, and the shift/reduce and reduce/reduce conflicts that the
+// counterexample finder explains.
+package lr
+
+import (
+	"fmt"
+	"strings"
+
+	"lrcex/internal/grammar"
+)
+
+// Item identifies a production item (a production with a dot position) by a
+// dense id across the whole grammar: item ids for production p occupy the
+// contiguous range [itemBase(p), itemBase(p)+len(RHS)].
+type Item int32
+
+// NoItem marks the absence of an item.
+const NoItem Item = -1
+
+// itemTable precomputes the production and dot position of every item id.
+type itemTable struct {
+	base []int32 // production id -> first item id
+	prod []int32 // item id -> production id
+	dot  []int32 // item id -> dot position
+}
+
+func newItemTable(g *grammar.Grammar) *itemTable {
+	t := &itemTable{base: make([]int32, g.NumProductions())}
+	for p := 0; p < g.NumProductions(); p++ {
+		t.base[p] = int32(len(t.prod))
+		n := len(g.Production(p).RHS)
+		for d := 0; d <= n; d++ {
+			t.prod = append(t.prod, int32(p))
+			t.dot = append(t.dot, int32(d))
+		}
+	}
+	return t
+}
+
+func (t *itemTable) numItems() int { return len(t.prod) }
+
+// ItemOf returns the item for production p with the dot before RHS[dot].
+func (a *Automaton) ItemOf(p, dot int) Item { return Item(a.items.base[p] + int32(dot)) }
+
+// Prod returns the production id of an item.
+func (a *Automaton) Prod(i Item) int { return int(a.items.prod[i]) }
+
+// Dot returns the dot position of an item.
+func (a *Automaton) Dot(i Item) int { return int(a.items.dot[i]) }
+
+// DotSym returns the symbol immediately after the dot, or NoSym when the dot
+// is at the end of the production (a reduce item).
+func (a *Automaton) DotSym(i Item) grammar.Sym {
+	p := a.G.Production(a.Prod(i))
+	d := a.Dot(i)
+	if d >= len(p.RHS) {
+		return grammar.NoSym
+	}
+	return p.RHS[d]
+}
+
+// PrevSym returns the symbol immediately before the dot, or NoSym when the
+// dot is at position 0.
+func (a *Automaton) PrevSym(i Item) grammar.Sym {
+	d := a.Dot(i)
+	if d == 0 {
+		return grammar.NoSym
+	}
+	return a.G.Production(a.Prod(i)).RHS[d-1]
+}
+
+// IsReduce reports whether the dot is at the end of the item's production.
+func (a *Automaton) IsReduce(i Item) bool {
+	return a.Dot(i) == len(a.G.Production(a.Prod(i)).RHS)
+}
+
+// IsKernel reports whether the item is a kernel item: dot > 0, or the start
+// item START' -> . start $.
+func (a *Automaton) IsKernel(i Item) bool {
+	return a.Dot(i) > 0 || a.Prod(i) == 0
+}
+
+// NumItems returns the number of distinct items in the grammar.
+func (a *Automaton) NumItems() int { return a.items.numItems() }
+
+// ItemString renders an item as "lhs -> α • β".
+func (a *Automaton) ItemString(i Item) string {
+	p := a.G.Production(a.Prod(i))
+	d := a.Dot(i)
+	var sb strings.Builder
+	sb.WriteString(a.G.Name(p.LHS))
+	sb.WriteString(" ->")
+	for k, s := range p.RHS {
+		if k == d {
+			sb.WriteString(" •")
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(a.G.Name(s))
+	}
+	if d == len(p.RHS) {
+		sb.WriteString(" •")
+	}
+	return sb.String()
+}
+
+// ItemWithLookahead renders "lhs -> α • β  {a, b}" using the LALR lookahead
+// set of the item in the given state.
+func (a *Automaton) ItemWithLookahead(state int, i Item) string {
+	la, ok := a.LookaheadOf(state, i)
+	if !ok {
+		return a.ItemString(i)
+	}
+	return fmt.Sprintf("%s  %s", a.ItemString(i), la.Format(a.G))
+}

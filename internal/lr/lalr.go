@@ -1,0 +1,168 @@
+package lr
+
+import "lrcex/internal/grammar"
+
+// computeLALR fills State.Lookahead for every item.
+//
+// Kernel items use the classic spontaneous-generation/propagation algorithm
+// (Aho et al., Algorithm 4.63): for each kernel item K in state I, an LR(1)
+// closure of {[K, #]} with the marker lookahead # discovers, for each closure
+// item with symbol X after the dot, lookaheads that are generated
+// spontaneously for the successor kernel item in goto(I, X), and propagation
+// edges wherever # survives. Closure items then get their lookaheads from an
+// in-state fixpoint over production steps, which is exactly the followL
+// relation of the paper restricted to static item lookaheads.
+func (a *Automaton) computeLALR() {
+	g := a.G
+	nt := g.NumTerminals()
+	hash := nt // marker "#" terminal index
+
+	type slot struct{ state, idx int }
+	// Dense kernel slot ids for the propagation graph.
+	slotOf := make(map[slot]int)
+	var slots []slot
+	for _, st := range a.States {
+		for idx := 0; idx < st.Kernel; idx++ {
+			slotOf[slot{st.ID, idx}] = len(slots)
+			slots = append(slots, slot{st.ID, idx})
+		}
+	}
+	la := make([]grammar.TermSet, len(slots))
+	for i := range la {
+		la[i] = grammar.NewTermSet(nt)
+	}
+	propagate := make([][]int32, len(slots))
+
+	// markerClosure computes the LR(1) closure of {[seed, {#}]} within state
+	// st, returning per-item lookahead sets (over nt+1 indices).
+	markerClosure := func(st *State, seed Item) map[Item]grammar.TermSet {
+		cl := make(map[Item]grammar.TermSet)
+		seedSet := grammar.NewTermSet(nt + 1)
+		seedSet.Add(hash)
+		cl[seed] = seedSet
+		work := []Item{seed}
+		for len(work) > 0 {
+			it := work[len(work)-1]
+			work = work[:len(work)-1]
+			x := a.DotSym(it)
+			if x == grammar.NoSym || g.IsTerminal(x) {
+				continue
+			}
+			// followL of (it, L) where L = cl[it], over nt+1 indices so the
+			// marker participates when the suffix is nullable.
+			p := g.Production(a.Prod(it))
+			rest := p.RHS[a.Dot(it)+1:]
+			fl, nullable := g.FirstOfSeq(rest)
+			follow := grammar.NewTermSet(nt + 1)
+			follow.Union(fl)
+			if nullable {
+				follow.Union(cl[it])
+			}
+			for _, pid := range g.ProductionsOf(x) {
+				tgt := a.ItemOf(pid, 0)
+				cur, ok := cl[tgt]
+				if !ok {
+					cur = grammar.NewTermSet(nt + 1)
+					cl[tgt] = cur
+				}
+				if cur.Union(follow) {
+					cl[tgt] = cur
+					work = append(work, tgt)
+				}
+			}
+		}
+		return cl
+	}
+
+	// Seed: $ is spontaneously generated for the start item in state 0.
+	startSlot := slotOf[slot{0, 0}]
+	la[startSlot].Add(g.TermIndex(grammar.EOF))
+
+	for _, st := range a.States {
+		for kidx := 0; kidx < st.Kernel; kidx++ {
+			from := slotOf[slot{st.ID, kidx}]
+			cl := markerClosure(st, st.Items[kidx])
+			for it, set := range cl {
+				x := a.DotSym(it)
+				if x == grammar.NoSym {
+					continue
+				}
+				tgtState := a.States[st.Trans[x]]
+				tIdx, ok := tgtState.HasItem(it + 1)
+				if !ok || tIdx >= tgtState.Kernel {
+					continue // successor item is always kernel; defensive
+				}
+				to := slotOf[slot{tgtState.ID, tIdx}]
+				for _, e := range set.Elems() {
+					if e == hash {
+						propagate[from] = append(propagate[from], int32(to))
+					} else {
+						la[to].Add(e)
+					}
+				}
+			}
+		}
+	}
+
+	// Propagate to fixpoint with a worklist.
+	inWork := make([]bool, len(slots))
+	work := make([]int, 0, len(slots))
+	for i := range slots {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		from := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[from] = false
+		for _, to := range propagate[from] {
+			if la[to].Union(la[from]) && !inWork[to] {
+				inWork[to] = true
+				work = append(work, int(to))
+			}
+		}
+	}
+
+	// Install kernel lookaheads, then run the in-state closure fixpoint for
+	// nonkernel items.
+	for _, st := range a.States {
+		st.Lookahead = make([]grammar.TermSet, len(st.Items))
+		for idx := range st.Items {
+			if idx < st.Kernel {
+				st.Lookahead[idx] = la[slotOf[slot{st.ID, idx}]]
+			} else {
+				st.Lookahead[idx] = grammar.NewTermSet(nt)
+			}
+		}
+		a.closureLookaheads(st)
+	}
+}
+
+// closureLookaheads computes lookaheads of nonkernel items in st:
+//
+//	LA(B -> . γ) = ∪ { followL(A -> α . B β, LA(A -> α . B β)) }
+//
+// over all items in st with B after the dot, iterated to fixpoint because
+// closure items feed one another.
+func (a *Automaton) closureLookaheads(st *State) {
+	g := a.G
+	for changed := true; changed; {
+		changed = false
+		for idx, it := range st.Items {
+			x := a.DotSym(it)
+			if x == grammar.NoSym || g.IsTerminal(x) {
+				continue
+			}
+			follow := g.FollowL(a.Prod(it), a.Dot(it), st.Lookahead[idx])
+			for _, pid := range g.ProductionsOf(x) {
+				tIdx, ok := st.HasItem(a.ItemOf(pid, 0))
+				if !ok || tIdx < st.Kernel {
+					continue
+				}
+				if st.Lookahead[tIdx].Union(follow) {
+					changed = true
+				}
+			}
+		}
+	}
+}

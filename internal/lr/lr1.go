@@ -1,0 +1,232 @@
+package lr
+
+import (
+	"sort"
+
+	"lrcex/internal/grammar"
+)
+
+// The canonical LR(1) construction. The counterexample finder itself works
+// on the LALR(1) automaton (as CUP does), but the canonical machine serves
+// two purposes: distinguishing genuine LR(1) conflicts from LALR-merging
+// artifacts ("mysterious" conflicts), and cross-validating the LALR
+// lookahead computation — every LALR conflict must either reappear in the
+// canonical machine or be explained by state merging.
+
+// LR1Item is an LR(1) item: an LR(0) item paired with one lookahead
+// terminal index.
+type LR1Item struct {
+	Item Item
+	La   int32 // dense terminal index
+}
+
+// LR1State is one canonical LR(1) state.
+type LR1State struct {
+	ID     int
+	Items  []LR1Item // sorted
+	Kernel int
+	Trans  map[grammar.Sym]int
+}
+
+// LR1Automaton is the canonical LR(1) collection.
+type LR1Automaton struct {
+	G      *grammar.Grammar
+	A      *Automaton // the item table provider (shares item ids)
+	States []*LR1State
+}
+
+// LR1Conflict is a conflict in the canonical machine.
+type LR1Conflict struct {
+	State int
+	Kind  ConflictKind
+	Item1 Item // reduce item
+	Item2 Item // shift item or second reduce item
+	Sym   grammar.Sym
+}
+
+// BuildLR1 constructs the canonical LR(1) collection. States grow roughly
+// an order of magnitude beyond LALR on mainstream grammars; MaxStates (0 =
+// 100000) bounds the construction, returning nil when exceeded.
+func BuildLR1(a *Automaton, maxStates int) *LR1Automaton {
+	if maxStates == 0 {
+		maxStates = 100000
+	}
+	g := a.G
+	m := &LR1Automaton{G: g, A: a}
+
+	closure := func(kernel []LR1Item) []LR1Item {
+		// Map item -> lookahead set for the closure fixpoint.
+		las := make(map[Item]grammar.TermSet, len(kernel)*4)
+		add := func(it Item, la int32) bool {
+			s, ok := las[it]
+			if !ok {
+				s = grammar.NewTermSet(g.NumTerminals())
+				las[it] = s
+			}
+			changed := s.Add(int(la))
+			las[it] = s
+			return changed
+		}
+		var work []Item
+		for _, ki := range kernel {
+			if add(ki.Item, ki.La) {
+				work = append(work, ki.Item)
+			}
+		}
+		for len(work) > 0 {
+			it := work[len(work)-1]
+			work = work[:len(work)-1]
+			x := a.DotSym(it)
+			if x == grammar.NoSym || g.IsTerminal(x) {
+				continue
+			}
+			follow := g.FollowL(a.Prod(it), a.Dot(it), las[it])
+			for _, pid := range g.ProductionsOf(x) {
+				tgt := a.ItemOf(pid, 0)
+				for _, e := range follow.Elems() {
+					if add(tgt, int32(e)) {
+						work = append(work, tgt)
+					}
+				}
+			}
+		}
+		var out []LR1Item
+		for it, s := range las {
+			for _, e := range s.Elems() {
+				out = append(out, LR1Item{it, int32(e)})
+			}
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Item != out[j].Item {
+				return out[i].Item < out[j].Item
+			}
+			return out[i].La < out[j].La
+		})
+		return out
+	}
+
+	key := func(items []LR1Item) string {
+		b := make([]byte, 0, len(items)*8)
+		for _, it := range items {
+			b = append(b, byte(it.Item), byte(it.Item>>8), byte(it.Item>>16),
+				byte(it.La), byte(it.La>>8))
+		}
+		return string(b)
+	}
+
+	stateOf := map[string]int{}
+	newState := func(kernel []LR1Item) int {
+		id := len(m.States)
+		items := closure(kernel)
+		st := &LR1State{ID: id, Items: items, Kernel: len(kernel), Trans: map[grammar.Sym]int{}}
+		m.States = append(m.States, st)
+		stateOf[key(kernel)] = id
+		return id
+	}
+
+	eofIdx := int32(g.TermIndex(grammar.EOF))
+	newState([]LR1Item{{a.StartItem(), eofIdx}})
+
+	for w := 0; w < len(m.States); w++ {
+		if len(m.States) > maxStates {
+			return nil
+		}
+		st := m.States[w]
+		bySym := map[grammar.Sym][]LR1Item{}
+		var order []grammar.Sym
+		for _, it := range st.Items {
+			x := a.DotSym(it.Item)
+			if x == grammar.NoSym {
+				continue
+			}
+			if _, ok := bySym[x]; !ok {
+				order = append(order, x)
+			}
+			bySym[x] = append(bySym[x], LR1Item{it.Item + 1, it.La})
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+		for _, x := range order {
+			kernel := bySym[x]
+			sort.Slice(kernel, func(i, j int) bool {
+				if kernel[i].Item != kernel[j].Item {
+					return kernel[i].Item < kernel[j].Item
+				}
+				return kernel[i].La < kernel[j].La
+			})
+			k := key(kernel)
+			tgt, ok := stateOf[k]
+			if !ok {
+				tgt = newState(kernel)
+			}
+			st.Trans[x] = tgt
+		}
+	}
+	return m
+}
+
+// Conflicts returns the canonical machine's conflicts, pairwise like
+// BuildTable's.
+func (m *LR1Automaton) Conflicts() []LR1Conflict {
+	a := m.A
+	g := m.G
+	var out []LR1Conflict
+	for _, st := range m.States {
+		// Collect reduce lookaheads per item.
+		reduceLA := map[Item][]int32{}
+		var reduceOrder []Item
+		shiftItems := map[grammar.Sym][]Item{}
+		for _, it := range st.Items {
+			x := a.DotSym(it.Item)
+			if x == grammar.NoSym {
+				if a.Prod(it.Item) == 0 {
+					continue // accept
+				}
+				if _, ok := reduceLA[it.Item]; !ok {
+					reduceOrder = append(reduceOrder, it.Item)
+				}
+				reduceLA[it.Item] = append(reduceLA[it.Item], it.La)
+			} else if g.IsTerminal(x) {
+				found := false
+				for _, p := range shiftItems[x] {
+					if p == it.Item {
+						found = true
+					}
+				}
+				if !found {
+					shiftItems[x] = append(shiftItems[x], it.Item)
+				}
+			}
+		}
+		for _, rit := range reduceOrder {
+			for _, la := range reduceLA[rit] {
+				term := g.TermAt(int(la))
+				for _, sit := range shiftItems[term] {
+					out = append(out, LR1Conflict{st.ID, ShiftReduce, rit, sit, term})
+				}
+			}
+		}
+		for i := 0; i < len(reduceOrder); i++ {
+			for j := i + 1; j < len(reduceOrder); j++ {
+				for _, la1 := range reduceLA[reduceOrder[i]] {
+					for _, la2 := range reduceLA[reduceOrder[j]] {
+						if la1 == la2 {
+							out = append(out, LR1Conflict{st.ID, ReduceReduce,
+								reduceOrder[i], reduceOrder[j], g.TermAt(int(la1))})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// IsLR1 reports whether the grammar is LR(1): the canonical machine has no
+// conflicts. ok is false when the construction exceeded maxStates.
+func IsLR1(a *Automaton, maxStates int) (isLR1, ok bool) {
+	m := BuildLR1(a, maxStates)
+	if m == nil {
+		return false, false
+	}
+	return len(m.Conflicts()) == 0, true
+}

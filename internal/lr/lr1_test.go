@@ -1,0 +1,129 @@
+package lr_test
+
+import (
+	"testing"
+
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/lr"
+)
+
+// TestLR1Figure3 checks the canonical machine agrees with the paper's
+// analysis of Figure 3: the grammar is LR(2), so it is NOT LR(1) — the
+// shift/reduce conflict under a is genuine, not an LALR merging artifact.
+func TestLR1Figure3(t *testing.T) {
+	g := mustGrammar(t, "figure3")
+	a := lr.Build(g)
+	isLR1, ok := lr.IsLR1(a, 0)
+	if !ok {
+		t.Fatal("construction exceeded bounds on a 7-production grammar")
+	}
+	if isLR1 {
+		t.Error("figure3 is LR(2) but not LR(1); canonical machine must conflict")
+	}
+}
+
+// TestLR1CleanGrammar: a layered expression grammar is LR(1) and conflict
+// free in both constructions.
+func TestLR1CleanGrammar(t *testing.T) {
+	g, err := gdl.Parse("layered", `
+e : e '+' f | f ;
+f : f '*' x | x ;
+x : 'n' | '(' e ')' ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lr.Build(g)
+	if n := len(lr.BuildTable(a).Conflicts); n != 0 {
+		t.Fatalf("LALR conflicts = %d, want 0", n)
+	}
+	isLR1, ok := lr.IsLR1(a, 0)
+	if !ok || !isLR1 {
+		t.Error("layered grammar must be LR(1)")
+	}
+}
+
+// TestLR1MysteriousConflict: the classic grammar that is LR(1) but not
+// LALR(1) — merging LR(1) states introduces a reduce/reduce conflict that
+// the canonical machine does not have.
+func TestLR1MysteriousConflict(t *testing.T) {
+	g, err := gdl.Parse("mysterious", `
+s : 'a' x 'd' | 'a' y 'e' | 'b' x 'e' | 'b' y 'd' ;
+x : 'c' ;
+y : 'c' ;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+	rr := 0
+	for _, c := range tbl.Conflicts {
+		if c.Kind == lr.ReduceReduce {
+			rr++
+		}
+	}
+	if rr == 0 {
+		t.Fatal("expected an LALR reduce/reduce conflict from state merging")
+	}
+	isLR1, ok := lr.IsLR1(a, 0)
+	if !ok {
+		t.Fatal("construction bound exceeded")
+	}
+	if !isLR1 {
+		t.Error("this grammar is LR(1); the conflict is an LALR merging artifact")
+	}
+}
+
+// TestLALRConflictsCoverLR1 cross-validates the LALR lookahead computation
+// on the small corpus grammars: every canonical LR(1) conflict must have an
+// LALR counterpart on the same items and symbol (LALR lookaheads
+// over-approximate canonical ones).
+func TestLALRConflictsCoverLR1(t *testing.T) {
+	for _, name := range []string{"figure1", "figure3", "figure7", "abcd",
+		"stackexc01", "stackovf02", "stackovf04", "stackovf08", "SQL.1"} {
+		t.Run(name, func(t *testing.T) {
+			g := mustGrammar(t, name)
+			a := lr.Build(g)
+			tbl := lr.BuildTable(a)
+			m := lr.BuildLR1(a, 0)
+			if m == nil {
+				t.Skip("LR(1) construction bound exceeded")
+			}
+			type sig struct {
+				i1, i2 lr.Item
+				sym    string
+			}
+			lalr := map[sig]bool{}
+			for _, c := range tbl.Conflicts {
+				lalr[sig{c.Item1, c.Item2, g.Name(c.Sym)}] = true
+				// Reduce/reduce conflicts record the full symbol set.
+				for _, s := range c.Syms {
+					lalr[sig{c.Item1, c.Item2, g.Name(s)}] = true
+				}
+			}
+			for _, c := range m.Conflicts() {
+				if !lalr[sig{c.Item1, c.Item2, g.Name(c.Sym)}] &&
+					!lalr[sig{c.Item2, c.Item1, g.Name(c.Sym)}] {
+					t.Errorf("LR(1) conflict without LALR counterpart: state %d %v %s/%s under %s",
+						c.State, c.Kind, a.ItemString(c.Item1), a.ItemString(c.Item2), g.Name(c.Sym))
+				}
+			}
+		})
+	}
+}
+
+// TestLR1StateBound: the bound machinery reports failure instead of
+// exploding.
+func TestLR1StateBound(t *testing.T) {
+	e, _ := corpus.Get("SQL.2")
+	g, err := gdl.Parse(e.Name, e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lr.Build(g)
+	if m := lr.BuildLR1(a, 10); m != nil {
+		t.Error("a 10-state bound cannot fit SQL.2's canonical machine")
+	}
+}

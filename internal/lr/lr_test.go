@@ -1,0 +1,213 @@
+package lr_test
+
+import (
+	"testing"
+
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+func mustGrammar(t *testing.T, name string) *grammar.Grammar {
+	t.Helper()
+	e, ok := corpus.Get(name)
+	if !ok {
+		t.Fatalf("corpus grammar %q not found", name)
+	}
+	g, err := gdl.Parse(name, e.Source)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", name, err)
+	}
+	return g
+}
+
+// TestPaperGrammarCounts pins the exact complexity columns of Table 1 for the
+// three grammars printed verbatim in the paper.
+func TestPaperGrammarCounts(t *testing.T) {
+	cases := []struct {
+		name                               string
+		nonterms, prods, states, conflicts int
+	}{
+		{"figure1", 3, 9, 24, 3},
+		{"figure3", 4, 7, 10, 1},
+		{"figure7", 4, 10, 16, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := mustGrammar(t, tc.name)
+			if got := len(g.Nonterminals()); got != tc.nonterms {
+				t.Errorf("nonterminals = %d, want %d", got, tc.nonterms)
+			}
+			if got := g.NumProductions(); got != tc.prods {
+				t.Errorf("productions = %d, want %d", got, tc.prods)
+			}
+			a := lr.Build(g)
+			if got := len(a.States); got != tc.states {
+				t.Errorf("states = %d, want %d", got, tc.states)
+			}
+			tbl := lr.BuildTable(a)
+			if got := len(tbl.Conflicts); got != tc.conflicts {
+				t.Errorf("conflicts = %d, want %d", got, tc.conflicts)
+				for _, c := range tbl.Conflicts {
+					t.Logf("  %s", c.Describe(a))
+				}
+			}
+		})
+	}
+}
+
+// TestFigure1Conflicts checks the three conflicts of Figure 1 are exactly the
+// ones the paper discusses: dangling else, expr + expr, and the challenging
+// digit conflict.
+func TestFigure1Conflicts(t *testing.T) {
+	g := mustGrammar(t, "figure1")
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+
+	wantSyms := map[string]bool{"else": false, "+": false, "digit": false}
+	for _, c := range tbl.Conflicts {
+		if c.Kind != lr.ShiftReduce {
+			t.Errorf("unexpected %v conflict: %s", c.Kind, c.Describe(a))
+			continue
+		}
+		name := g.Name(c.Sym)
+		if seen, ok := wantSyms[name]; !ok || seen {
+			t.Errorf("unexpected conflict symbol %q: %s", name, c.Describe(a))
+		}
+		wantSyms[name] = true
+	}
+	for sym, seen := range wantSyms {
+		if !seen {
+			t.Errorf("missing conflict under %q", sym)
+		}
+	}
+}
+
+// TestFigure1DanglingElseState finds the Figure 2 State 10 structure: exactly
+// the two dangling-else items.
+func TestFigure1DanglingElseState(t *testing.T) {
+	g := mustGrammar(t, "figure1")
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+
+	var conflict *lr.Conflict
+	for i := range tbl.Conflicts {
+		if g.Name(tbl.Conflicts[i].Sym) == "else" {
+			conflict = &tbl.Conflicts[i]
+		}
+	}
+	if conflict == nil {
+		t.Fatal("dangling-else conflict not found")
+	}
+	st := a.States[conflict.State]
+	if len(st.Items) != 2 {
+		t.Fatalf("dangling-else state has %d items, want 2", len(st.Items))
+	}
+	red, shift := a.ItemString(conflict.Item1), a.ItemString(conflict.Item2)
+	if want := "stmt -> if expr then stmt •"; red != want {
+		t.Errorf("reduce item = %q, want %q", red, want)
+	}
+	if want := "stmt -> if expr then stmt • else stmt"; shift != want {
+		t.Errorf("shift item = %q, want %q", shift, want)
+	}
+	// The reduce item's lookahead must contain else (via the LALR closure
+	// chain), plus $ and the other statement-followers.
+	la, ok := a.LookaheadOf(conflict.State, conflict.Item1)
+	if !ok {
+		t.Fatal("no lookahead for reduce item")
+	}
+	elseSym, _ := g.Lookup("else")
+	if !la.Has(g.TermIndex(elseSym)) {
+		t.Errorf("reduce item lookahead %s does not contain else", la.Format(g))
+	}
+	if !la.Has(g.TermIndex(grammar.EOF)) {
+		t.Errorf("reduce item lookahead %s does not contain $", la.Format(g))
+	}
+}
+
+// TestFigure3LR2 verifies the Figure 3 conflict: shift Y -> a • a b vs
+// reduce X -> a • under a.
+func TestFigure3LR2(t *testing.T) {
+	g := mustGrammar(t, "figure3")
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+	if len(tbl.Conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(tbl.Conflicts))
+	}
+	c := tbl.Conflicts[0]
+	if c.Kind != lr.ShiftReduce {
+		t.Fatalf("conflict kind = %v, want shift/reduce", c.Kind)
+	}
+	if got, want := a.ItemString(c.Item1), "X -> a •"; got != want {
+		t.Errorf("reduce item = %q, want %q", got, want)
+	}
+	if got, want := a.ItemString(c.Item2), "Y -> a • a b"; got != want {
+		t.Errorf("shift item = %q, want %q", got, want)
+	}
+	if got := g.Name(c.Sym); got != "a" {
+		t.Errorf("conflict symbol = %q, want a", got)
+	}
+}
+
+// TestFigure7TwoConflicts verifies the two shift/reduce conflicts of Figure 7
+// live in the same state under symbol b.
+func TestFigure7TwoConflicts(t *testing.T) {
+	g := mustGrammar(t, "figure7")
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+	if len(tbl.Conflicts) != 2 {
+		t.Fatalf("conflicts = %d, want 2", len(tbl.Conflicts))
+	}
+	if tbl.Conflicts[0].State != tbl.Conflicts[1].State {
+		t.Errorf("conflicts in different states %d and %d", tbl.Conflicts[0].State, tbl.Conflicts[1].State)
+	}
+	for _, c := range tbl.Conflicts {
+		if got := g.Name(c.Sym); got != "b" {
+			t.Errorf("conflict symbol = %q, want b", got)
+		}
+		if got, want := a.ItemString(c.Item1), "A -> a •"; got != want {
+			t.Errorf("reduce item = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestPrecedenceResolution checks Section 2.4: declaring + left-associative
+// resolves the expr + expr conflict in favor of the reduction.
+func TestPrecedenceResolution(t *testing.T) {
+	src := `
+%left '+'
+expr : expr '+' expr | 'num' ;
+`
+	g, err := gdl.Parse("prec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+	if len(tbl.Conflicts) != 0 {
+		t.Errorf("unresolved conflicts = %d, want 0", len(tbl.Conflicts))
+	}
+	if len(tbl.Resolved) != 1 {
+		t.Fatalf("resolved conflicts = %d, want 1", len(tbl.Resolved))
+	}
+	if got := tbl.Resolved[0].Choice; got != "reduce" {
+		t.Errorf("resolution = %q, want reduce (left assoc)", got)
+	}
+}
+
+// TestAcceptAction verifies the augmented start reduction becomes accept.
+func TestAcceptAction(t *testing.T) {
+	g := mustGrammar(t, "figure3")
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+	found := false
+	for s := range a.States {
+		if act, ok := tbl.Actions[s][grammar.EOF]; ok && act.Kind == lr.ActionAccept {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no accept action in any state")
+	}
+}
