@@ -17,6 +17,8 @@ package lrcex
 // reproducible way to regenerate them.
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"lrcex/internal/core"
 	"lrcex/internal/corpus"
 	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
 )
 
@@ -133,6 +136,109 @@ func BenchmarkTable1(b *testing.B) {
 				f := core.NewFinder(tbl, benchOpts())
 				if _, err := f.FindAll(); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelBenchGrammars is the corpus slice used by BenchmarkTable1Parallel.
+// The set is chosen to be *bimodal*: every conflict either resolves in well
+// under the per-conflict limit (deterministic search, identical results at
+// any worker count) or is hopeless far beyond it (times out at any worker
+// count — java-ext2's seven unbounded conflicts persist past a 2 s budget).
+// Grammars with conflicts near the limit (C.4, Java.4, SQL.4, Pascal.2) are
+// excluded: their outcomes legitimately depend on how much CPU the conflict
+// receives before its wall-clock deadline, which is the one thing
+// parallelism changes.
+var parallelBenchGrammars = []string{
+	"figure1", "xi", "stackovf10", "SQL.2", "C.1", "Java.5", "java-ext2",
+}
+
+func parallelBenchOpts(workers int) core.Options {
+	return core.Options{
+		PerConflictTimeout: 300 * time.Millisecond,
+		CumulativeTimeout:  core.NoTimeout,
+		Parallelism:        workers,
+	}
+}
+
+// exampleFingerprint captures everything the acceptance bar compares across
+// worker counts: the outcome kind plus the full counterexample content
+// (unifying derivations or nonunifying prefix/continuations).
+func exampleFingerprint(g *grammar.Grammar, ex *core.Example) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%v|%s|%d", ex.Kind, g.SymString(ex.Syms), ex.Dot)
+	if ex.Deriv1 != nil {
+		sb.WriteByte('|')
+		sb.WriteString(ex.Deriv1.Format(g, ex.Dot))
+		sb.WriteByte('|')
+		sb.WriteString(ex.Deriv2.Format(g, ex.Dot))
+	}
+	fmt.Fprintf(&sb, "|%s|%s|%s", g.SymString(ex.Prefix), g.SymString(ex.After1), g.SymString(ex.After2))
+	return sb.String()
+}
+
+// BenchmarkTable1Parallel measures the parallel conflict loop at 1/2/4/8
+// workers over the bimodal corpus slice. The first iteration of every
+// parallel sub-benchmark also asserts that per-conflict results (kind and
+// derivations) are identical to sequential mode.
+//
+// What the speedup means depends on the hardware: on a multi-core machine
+// the workers genuinely overlap CPU-bound searches; on a single-core
+// machine (like a throttled CI container) the speedup comes from
+// overlapping the *wall-clock deadline waits* of hopeless conflicts — seven
+// java-ext2 conflicts that each burn a full 300 ms budget cost ~2.1 s
+// sequentially but ~one budget per worker-wave in parallel. Both effects
+// are exactly what Section 6's per-conflict budget model predicts.
+func BenchmarkTable1Parallel(b *testing.B) {
+	grammars := make(map[string]*grammar.Grammar, len(parallelBenchGrammars))
+	tables := make(map[string]*lr.Table, len(parallelBenchGrammars))
+	ref := make(map[string][]string, len(parallelBenchGrammars))
+	for _, name := range parallelBenchGrammars {
+		e, ok := corpus.Get(name)
+		if !ok {
+			b.Fatalf("grammar %q not in corpus", name)
+		}
+		g, err := gdl.Parse(name, e.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grammars[name] = g
+		tables[name] = lr.BuildTable(lr.Build(g))
+		f := core.NewFinder(tables[name], parallelBenchOpts(1))
+		exs, err := f.FindAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fps := make([]string, len(exs))
+		for i, ex := range exs {
+			fps[i] = exampleFingerprint(g, ex)
+		}
+		ref[name] = fps
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, name := range parallelBenchGrammars {
+					f := core.NewFinder(tables[name], parallelBenchOpts(workers))
+					exs, err := f.FindAll()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i > 0 {
+						continue
+					}
+					g := grammars[name]
+					if len(exs) != len(ref[name]) {
+						b.Fatalf("%s: %d examples, sequential found %d", name, len(exs), len(ref[name]))
+					}
+					for k, ex := range exs {
+						if got := exampleFingerprint(g, ex); got != ref[name][k] {
+							b.Fatalf("%s conflict %d: parallel result diverged from sequential\n got: %s\nwant: %s",
+								name, k, got, ref[name][k])
+						}
+					}
 				}
 			}
 		})

@@ -42,18 +42,26 @@ func main() {
 		effectiveness = flag.Bool("effectiveness", false, "Section 7.2 summary")
 		efficiency    = flag.Bool("efficiency", false, "Section 7.3 comparison")
 		scalability   = flag.Bool("scalability", false, "Section 7.4 summary")
-		timeout       = flag.Duration("timeout", 5*time.Second, "per-conflict time limit")
-		cumulative    = flag.Duration("cumulative", 2*time.Minute, "cumulative per-grammar limit")
+		timeout       = flag.Duration("timeout", 5*time.Second, "per-conflict time limit (negative = no limit)")
+		cumulative    = flag.Duration("cumulative", 2*time.Minute, "cumulative per-grammar limit (negative = no limit)")
+		parallelism   = flag.Int("j", 0, "conflicts searched in parallel per grammar (0 = GOMAXPROCS)")
+		speedup       = flag.Bool("speedup", false, "measure FindAll wall-clock at 1/2/4/8 workers")
 	)
 	flag.Parse()
 
 	opts := eval.Options{
-		Finder:       core.Options{PerConflictTimeout: *timeout, CumulativeTimeout: *cumulative},
+		Finder: core.Options{
+			PerConflictTimeout: *timeout,
+			CumulativeTimeout:  *cumulative,
+			Parallelism:        *parallelism,
+		},
 		Baseline:     *withBaseline,
 		BaselineOpts: baseline.AmberOptions{MaxLen: 10, Timeout: 30 * time.Second},
 	}
 
 	switch {
+	case *speedup:
+		runSpeedup(*category, opts)
 	case *grammarName != "":
 		runOne(*grammarName, opts)
 	case *fig5:
@@ -96,6 +104,24 @@ func entriesFor(category string) []*corpus.Entry {
 func runTable1(category string, opts eval.Options) {
 	rows := eval.Table1(entriesFor(category), opts)
 	fmt.Print(eval.FormatRows(rows, opts.Baseline))
+}
+
+// runSpeedup measures the parallel-FindAll scaling on each grammar of the
+// chosen category: the same conflicts searched at 1, 2, 4, and 8 workers
+// under deterministic budgets (configuration cap instead of the wall clock)
+// so the per-conflict outcomes are provably identical across worker counts.
+func runSpeedup(category string, opts eval.Options) {
+	opts.Finder.PerConflictTimeout = core.NoTimeout
+	opts.Finder.CumulativeTimeout = core.NoTimeout
+	if opts.Finder.MaxConfigs == 0 {
+		opts.Finder.MaxConfigs = 200000
+	}
+	workers := []int{1, 2, 4, 8}
+	var rows []eval.Speedup
+	for _, e := range entriesFor(category) {
+		rows = append(rows, eval.MeasureSpeedup(e, opts, workers))
+	}
+	fmt.Print(eval.FormatSpeedup(rows))
 }
 
 func runOne(name string, opts eval.Options) {

@@ -23,11 +23,12 @@ import (
 
 func main() {
 	var (
-		corpusName = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
-		timeout    = flag.Duration("timeout", 5*time.Second, "per-conflict time limit for the unifying search")
-		cumulative = flag.Duration("cumulative", 2*time.Minute, "cumulative time limit across all conflicts")
-		extended   = flag.Bool("extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
-		quiet      = flag.Bool("q", false, "print one summary line per conflict instead of full reports")
+		corpusName  = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-conflict time limit for the unifying search (negative = no limit)")
+		cumulative  = flag.Duration("cumulative", 2*time.Minute, "cumulative time limit across all conflicts (negative = no limit)")
+		extended    = flag.Bool("extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
+		quiet       = flag.Bool("q", false, "print one summary line per conflict instead of full reports")
+		parallelism = flag.Int("j", 0, "conflicts searched in parallel (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		PerConflictTimeout: *timeout,
 		CumulativeTimeout:  *cumulative,
 		ExtendedSearch:     *extended,
+		Parallelism:        *parallelism,
 	})
 
 	// Counterexamples assume a reduced grammar: warn like yacc/CUP when
@@ -72,12 +74,16 @@ func main() {
 		fmt.Println("No conflicts: the grammar is LALR(1).")
 		return
 	}
-	for _, c := range res.Conflicts() {
-		ex, err := res.Find(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cexgen: %v\n", err)
-			os.Exit(1)
-		}
+	// FindAll searches the conflicts on a worker pool (-j) and returns the
+	// results in conflict order, so the report order matches the sequential
+	// tool exactly.
+	exs, err := res.FindAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cexgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, ex := range exs {
+		c := ex.Conflict
 		if *quiet {
 			fmt.Printf("state %d under %s: %s (%.3fs)\n", c.State, g.Name(c.Sym), ex.Kind, ex.Elapsed.Seconds())
 			continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lrcex/internal/grammar"
@@ -16,7 +17,7 @@ func DescribePath(tbl *lr.Table, c lr.Conflict) ([]string, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: conflict reduce item not in state %d", c.State)
 	}
-	path, err := shortestLookaheadSensitivePath(g, conflictNode, c.Sym)
+	path, err := shortestLookaheadSensitivePath(context.Background(), g, &scratch{}, conflictNode, c.Sym)
 	if err != nil {
 		return nil, err
 	}

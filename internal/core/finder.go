@@ -1,28 +1,51 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
 )
 
+// NoTimeout disables a time limit when assigned to PerConflictTimeout or
+// CumulativeTimeout. Any negative duration means "unlimited"; the zero value
+// still selects the paper's default, so the two cases are distinguishable.
+const NoTimeout time.Duration = -1
+
 // Options configures the counterexample finder. The zero value selects the
 // defaults the paper's implementation uses (Section 6).
 type Options struct {
 	// PerConflictTimeout bounds the unifying search per conflict
-	// (default 5 s).
+	// (default 5 s; NoTimeout — any negative value — disables the limit).
 	PerConflictTimeout time.Duration
-	// CumulativeTimeout bounds the total time spent in the unifying search
-	// across all conflicts of a grammar; afterwards only nonunifying
-	// counterexamples are sought (default 2 min).
+	// CumulativeTimeout bounds the total time spent across all conflicts of a
+	// grammar; afterwards only nonunifying counterexamples are sought
+	// (default 2 min; NoTimeout disables the limit). Under parallel search
+	// the budget is a shared time-bank: every worker charges the bank for the
+	// wall-clock time its conflicts consumed, so the paper's global limit is
+	// respected regardless of how many searches run at once.
 	CumulativeTimeout time.Duration
+	// Parallelism is the number of conflicts searched concurrently by
+	// FindAll (default GOMAXPROCS; 1 forces the sequential path). Results
+	// are always returned in conflict order, and per-conflict outcomes are
+	// deterministic: each conflict's search is single-threaded and
+	// independent, so parallelism changes wall-clock, never answers —
+	// except where answers depend on wall-clock itself (time limits and the
+	// shared cumulative budget).
+	Parallelism int
 	// ExtendedSearch lifts the restriction of reverse transitions to states
 	// on the shortest lookahead-sensitive path (the -extendedsearch flag).
 	ExtendedSearch bool
 	// MaxConfigs bounds the number of configurations expanded per conflict
-	// (0 = unlimited); a memory safety valve absent from the paper.
+	// (0 = unlimited); a memory safety valve absent from the paper. Unlike
+	// the wall-clock limits this cap is deterministic: the same grammar and
+	// options always expand the same configurations in the same order.
 	MaxConfigs int
 	// Costs is the action cost model (zero value = DefaultCosts).
 	Costs CostModel
@@ -34,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CumulativeTimeout == 0 {
 		o.CumulativeTimeout = 2 * time.Minute
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	o.Costs = o.Costs.withDefaults()
 	return o
@@ -104,19 +130,80 @@ type Example struct {
 	Expanded int
 }
 
+// timeBank is the shared cumulative budget of Section 6 (the 2-minute limit),
+// kept as remaining nanoseconds in an atomic counter so parallel workers can
+// draw from one global pool without locking. A worker checks the bank before
+// starting a conflict's unifying search and charges its conflict's elapsed
+// wall-clock afterwards; once the balance goes non-positive, remaining
+// conflicts take the NonunifyingSkipped path. The bank may go negative by up
+// to one per-conflict timeout per worker (the same overdraft the sequential
+// implementation — and the paper's — allows for the conflict in flight when
+// the budget expires).
+type timeBank struct {
+	remaining atomic.Int64
+	unlimited bool
+}
+
+func newTimeBank(budget time.Duration) *timeBank {
+	b := &timeBank{}
+	if budget < 0 {
+		b.unlimited = true
+	} else {
+		b.remaining.Store(int64(budget))
+	}
+	return b
+}
+
+// exhausted reports whether the cumulative budget has been spent.
+func (b *timeBank) exhausted() bool { return !b.unlimited && b.remaining.Load() <= 0 }
+
+// charge withdraws d from the bank.
+func (b *timeBank) charge(d time.Duration) {
+	if !b.unlimited {
+		b.remaining.Add(-int64(d))
+	}
+}
+
+// scratch holds the per-worker reusable buffers of the search. All mutable
+// per-conflict state lives either here or in values allocated inside one
+// find call; everything reachable from Finder.g is immutable once NewFinder
+// returns (see graph), which is what makes one Finder safe to share across
+// goroutines.
+type scratch struct {
+	reach   []bool // reverse-reachability marks (lasp eligibility)
+	allowed []bool // states on the shortest lookahead-sensitive path
+}
+
+// allowedStates resets and fills the allowed-state buffer for one conflict.
+func (sc *scratch) allowedStates(numStates int, states []int) []bool {
+	if cap(sc.allowed) < numStates {
+		sc.allowed = make([]bool, numStates)
+	} else {
+		sc.allowed = sc.allowed[:numStates]
+		clear(sc.allowed)
+	}
+	for _, s := range states {
+		sc.allowed[s] = true
+	}
+	return sc.allowed
+}
+
 // Finder finds counterexamples for the conflicts of one grammar. It builds
 // the state-item lookup tables once (Section 6, "Data structures") and keeps
-// the cumulative-time bookkeeping across conflicts.
+// the cumulative time-bank across conflicts. A Finder is safe for concurrent
+// use: the graph and automaton are immutable after construction, and the
+// bank is atomic.
 type Finder struct {
-	tbl   *lr.Table
-	g     *graph
-	opts  Options
-	spent time.Duration
+	tbl  *lr.Table
+	g    *graph
+	opts Options
+	bank *timeBank
 }
 
 // NewFinder returns a Finder over the table's automaton.
 func NewFinder(tbl *lr.Table, opts Options) *Finder {
-	return &Finder{tbl: tbl, g: newGraph(tbl.A), opts: opts.withDefaults()}
+	o := opts.withDefaults()
+	return &Finder{tbl: tbl, g: newGraph(tbl.A), opts: o, bank: newTimeBank(o.CumulativeTimeout)}
 }
 
 // Table returns the parse table the finder analyzes.
@@ -125,22 +212,113 @@ func (f *Finder) Table() *lr.Table { return f.tbl }
 // FindAll returns one counterexample per unresolved conflict, in conflict
 // order.
 func (f *Finder) FindAll() ([]*Example, error) {
-	out := make([]*Example, 0, len(f.tbl.Conflicts))
-	for _, c := range f.tbl.Conflicts {
-		ex, err := f.Find(c)
-		if err != nil {
-			return out, fmt.Errorf("conflict in state %d under %s: %w", c.State, f.tbl.A.G.Name(c.Sym), err)
-		}
-		out = append(out, ex)
-	}
-	return out, nil
+	return f.FindAllContext(context.Background())
 }
 
-// Find constructs a counterexample for one conflict: first the shortest
+// FindAllContext is FindAll with cooperative cancellation: when ctx is
+// cancelled, in-flight searches stop at their next poll point and the
+// context's error is returned. Conflicts are distributed over
+// Options.Parallelism workers; the returned slice is always in conflict
+// order. On error, the examples for the conflicts preceding the first
+// failure (in conflict order) are returned alongside it.
+func (f *Finder) FindAllContext(ctx context.Context) ([]*Example, error) {
+	conflicts := f.tbl.Conflicts
+	workers := f.opts.Parallelism
+	if workers > len(conflicts) {
+		workers = len(conflicts)
+	}
+
+	if workers <= 1 {
+		out := make([]*Example, 0, len(conflicts))
+		sc := &scratch{}
+		for _, c := range conflicts {
+			ex, err := f.find(ctx, c, sc)
+			if err != nil {
+				return out, conflictErr(f.tbl, c, err)
+			}
+			out = append(out, ex)
+		}
+		return out, nil
+	}
+
+	out := make([]*Example, len(conflicts))
+	errs := make([]error, len(conflicts))
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &scratch{} // per-worker: never shared across goroutines
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(conflicts) {
+					return
+				}
+				ex, err := f.find(poolCtx, conflicts[i], sc)
+				if err != nil {
+					errs[i] = err
+					cancel() // stop the remaining workers cooperatively
+					return
+				}
+				out[i] = ex
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Report the first genuine failure in conflict order; cancellation
+	// errors induced by our own pool shutdown (or by the caller) only
+	// surface when no genuine error exists.
+	var firstErr error
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			firstErr = conflictErr(f.tbl, conflicts[i], err)
+			break
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		return out, nil
+	}
+	done := 0
+	for done < len(out) && out[done] != nil {
+		done++
+	}
+	return out[:done], firstErr
+}
+
+func conflictErr(tbl *lr.Table, c lr.Conflict, err error) error {
+	return fmt.Errorf("conflict in state %d under %s: %w", c.State, tbl.A.G.Name(c.Sym), err)
+}
+
+// Find constructs a counterexample for one conflict.
+func (f *Finder) Find(c lr.Conflict) (*Example, error) {
+	return f.FindContext(context.Background(), c)
+}
+
+// FindContext is Find with cooperative cancellation. Concurrent FindContext
+// calls on one Finder are safe and share the cumulative time-bank.
+func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, error) {
+	return f.find(ctx, c, &scratch{})
+}
+
+// find constructs a counterexample for one conflict: first the shortest
 // lookahead-sensitive path (Section 4), then — within the time budget — the
 // unifying search (Section 5), falling back to the nonunifying counterexample
-// assembled from the path.
-func (f *Finder) Find(c lr.Conflict) (*Example, error) {
+// assembled from the path. All searches poll ctx; the per-conflict time limit
+// is a deadline context derived from it.
+func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	a := f.tbl.A
 
@@ -148,26 +326,32 @@ func (f *Finder) Find(c lr.Conflict) (*Example, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: conflict reduce item not in state %d", c.State)
 	}
-	path, err := shortestLookaheadSensitivePath(f.g, conflictNode, c.Sym)
+	path, err := shortestLookaheadSensitivePath(ctx, f.g, sc, conflictNode, c.Sym)
 	if err != nil {
 		return nil, err
 	}
 
 	ex := &Example{Conflict: c}
 
-	skipUnifying := f.spent >= f.opts.CumulativeTimeout
-	if !skipUnifying {
+	if !f.bank.exhausted() {
 		var allowed []bool
 		if !f.opts.ExtendedSearch {
-			allowed = make([]bool, len(a.States))
-			for _, s := range path.states(f.g) {
-				allowed[s] = true
+			allowed = sc.allowedStates(len(a.States), path.states(f.g))
+		}
+		searchCtx := ctx
+		if f.opts.PerConflictTimeout >= 0 {
+			var cancel context.CancelFunc
+			searchCtx, cancel = context.WithDeadline(ctx, start.Add(f.opts.PerConflictTimeout))
+			defer cancel()
+		}
+		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, f.opts.MaxConfigs)
+		res := search.run(searchCtx)
+		ex.Expanded = search.Expanded
+		if search.Cancelled {
+			if err := ctx.Err(); err != nil {
+				return nil, err // the caller cancelled, not the per-conflict deadline
 			}
 		}
-		deadline := start.Add(f.opts.PerConflictTimeout)
-		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, deadline, f.opts.MaxConfigs)
-		res := search.run()
-		ex.Expanded = search.Expanded
 		if res != nil {
 			ex.Kind = Unifying
 			ex.Nonterminal = res.nonterminal
@@ -176,10 +360,10 @@ func (f *Finder) Find(c lr.Conflict) (*Example, error) {
 			ex.Deriv1 = res.deriv1
 			ex.Deriv2 = res.deriv2
 			ex.Elapsed = time.Since(start)
-			f.spent += ex.Elapsed
+			f.bank.charge(ex.Elapsed)
 			return ex, nil
 		}
-		if search.TimedOut || search.Capped {
+		if search.Cancelled || search.Capped {
 			ex.Kind = NonunifyingTimeout
 		} else {
 			ex.Kind = NonunifyingExhausted
@@ -188,7 +372,7 @@ func (f *Finder) Find(c lr.Conflict) (*Example, error) {
 		ex.Kind = NonunifyingSkipped
 	}
 
-	nu, err := buildNonunifying(f.g, c, path)
+	nu, err := buildNonunifying(ctx, f.g, c, path)
 	if err != nil {
 		return nil, err
 	}
@@ -196,6 +380,6 @@ func (f *Finder) Find(c lr.Conflict) (*Example, error) {
 	ex.After1 = nu.after1
 	ex.After2 = nu.after2
 	ex.Elapsed = time.Since(start)
-	f.spent += ex.Elapsed
+	f.bank.charge(ex.Elapsed)
 	return ex, nil
 }

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"lrcex/internal/gdl"
+	"lrcex/internal/lr"
+)
+
+// White-box tests for the concurrency plumbing: the options sentinel mapping,
+// the atomic time-bank, the immutability fingerprint, and concurrent
+// FindContext on one shared Finder (meant to run under -race).
+
+func TestWithDefaults(t *testing.T) {
+	d := Options{}.withDefaults()
+	if d.PerConflictTimeout != 5*time.Second {
+		t.Errorf("zero PerConflictTimeout -> %v, want 5s", d.PerConflictTimeout)
+	}
+	if d.CumulativeTimeout != 2*time.Minute {
+		t.Errorf("zero CumulativeTimeout -> %v, want 2m", d.CumulativeTimeout)
+	}
+	if d.Parallelism != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero Parallelism -> %d, want GOMAXPROCS=%d", d.Parallelism, runtime.GOMAXPROCS(0))
+	}
+
+	// Negative durations are the NoTimeout sentinel and must survive
+	// withDefaults untouched: "unlimited" is distinguishable from "default".
+	n := Options{
+		PerConflictTimeout: NoTimeout,
+		CumulativeTimeout:  -7 * time.Second, // any negative means unlimited
+		Parallelism:        3,
+	}.withDefaults()
+	if n.PerConflictTimeout >= 0 {
+		t.Errorf("NoTimeout PerConflictTimeout rewritten to %v", n.PerConflictTimeout)
+	}
+	if n.CumulativeTimeout >= 0 {
+		t.Errorf("negative CumulativeTimeout rewritten to %v", n.CumulativeTimeout)
+	}
+	if n.Parallelism != 3 {
+		t.Errorf("explicit Parallelism rewritten to %d", n.Parallelism)
+	}
+}
+
+func TestTimeBank(t *testing.T) {
+	b := newTimeBank(100 * time.Millisecond)
+	if b.exhausted() {
+		t.Fatal("fresh bank already exhausted")
+	}
+	b.charge(99 * time.Millisecond)
+	if b.exhausted() {
+		t.Error("bank with 1ms left reports exhausted")
+	}
+	b.charge(time.Millisecond) // exact drain: remaining == 0 is exhausted
+	if !b.exhausted() {
+		t.Error("exactly drained bank not exhausted")
+	}
+	b.charge(time.Hour) // overdraft must be harmless
+	if !b.exhausted() {
+		t.Error("overdrawn bank not exhausted")
+	}
+
+	u := newTimeBank(NoTimeout)
+	u.charge(1000 * time.Hour)
+	if u.exhausted() {
+		t.Error("unlimited bank exhausted after charges")
+	}
+
+	z := newTimeBank(0)
+	if !z.exhausted() {
+		t.Error("zero-budget bank not exhausted (withDefaults maps 0 away before the bank sees it)")
+	}
+}
+
+func TestTimeBankConcurrentCharges(t *testing.T) {
+	b := newTimeBank(time.Millisecond * 64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				b.charge(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if !b.exhausted() {
+		t.Errorf("64 concurrent 1ms charges against a 64ms bank: remaining %v, want exhausted",
+			time.Duration(b.remaining.Load()))
+	}
+}
+
+func buildInternal(t *testing.T, src string) *lr.Table {
+	t.Helper()
+	g, err := gdl.Parse("internal", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lr.BuildTable(lr.Build(g))
+}
+
+const figure1Like = `
+stmt : 'if' expr 'then' stmt 'else' stmt
+     | 'if' expr 'then' stmt
+     | expr '?' stmt stmt
+     | 'other'
+     ;
+expr : num | expr '+' expr ;
+num : 'digit' | num 'digit' ;
+`
+
+// TestGraphImmutableAfterFindAll spot-checks the shared-graph contract that
+// the parallel searches rely on: the fingerprint taken at construction still
+// matches after a full parallel FindAll (and the race detector enforces the
+// stronger claim when this package's tests run under -race).
+func TestGraphImmutableAfterFindAll(t *testing.T) {
+	tbl := buildInternal(t, figure1Like)
+	f := NewFinder(tbl, Options{
+		PerConflictTimeout: NoTimeout,
+		CumulativeTimeout:  NoTimeout,
+		MaxConfigs:         50000,
+		Parallelism:        4,
+	})
+	if !f.g.assertImmutable() {
+		t.Fatal("graph fingerprint broken before any search")
+	}
+	if _, err := f.FindAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.g.assertImmutable() {
+		t.Error("graph mutated by FindAll: construction fingerprint no longer matches")
+	}
+}
+
+// TestConcurrentFindContext hammers one shared Finder from many goroutines —
+// each conflict searched several times concurrently — and checks every
+// outcome agrees with the sequential reference. Primarily a -race target.
+func TestConcurrentFindContext(t *testing.T) {
+	tbl := buildInternal(t, figure1Like)
+	if len(tbl.Conflicts) == 0 {
+		t.Fatal("test grammar has no conflicts")
+	}
+	opts := Options{
+		PerConflictTimeout: NoTimeout,
+		CumulativeTimeout:  NoTimeout,
+		MaxConfigs:         50000,
+	}
+	ref := make([]ExampleKind, len(tbl.Conflicts))
+	seq := NewFinder(tbl, opts)
+	for i, c := range tbl.Conflicts {
+		ex, err := seq.Find(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = ex.Kind
+	}
+
+	shared := NewFinder(tbl, opts)
+	var wg sync.WaitGroup
+	errc := make(chan error, 3*len(tbl.Conflicts))
+	for round := 0; round < 3; round++ {
+		for i, c := range tbl.Conflicts {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ex, err := shared.Find(c)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if ex.Kind != ref[i] {
+					t.Errorf("conflict %d concurrent kind %v, sequential %v", i, ex.Kind, ref[i])
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("concurrent Find: %v", err)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"lrcex/internal/grammar"
 )
 
@@ -13,7 +15,9 @@ import (
 // grammars where item1's shortest lookahead-sensitive prefix admits no
 // derivation of item2 with the conflict terminal, because the two items'
 // lookaheads reach the merged LALR state through different contexts.)
-func jointPath(g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym, rem1, rem2 [][]grammar.Sym, ok bool) {
+// The BFS polls ctx periodically; err is non-nil exactly when the search was
+// cancelled (a not-found outcome is ok == false with a nil error).
+func jointPath(ctx context.Context, g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym, rem1, rem2 [][]grammar.Sym, ok bool, err error) {
 	a := g.a
 	gr := a.G
 	tIdx := gr.TermIndex(t)
@@ -40,13 +44,18 @@ func jointPath(g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym
 	}
 	startNode, found := g.lookup(0, a.StartItem())
 	if !found {
-		return nil, nil, nil, false
+		return nil, nil, nil, false, nil
 	}
 	root := vkey{startNode, startNode, eofID, eofID}
 	visited := map[vkey]bool{root: true}
 	order := []entry{{key: root, parent: -1, sym: grammar.NoSym}}
 	goal := -1
 	for head := 0; head < len(order) && goal < 0; head++ {
+		if head%laspCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, false, err
+			}
+		}
 		cur := order[head]
 		k := cur.key
 		if k.n1 == node1 && k.n2 == node2 &&
@@ -92,7 +101,7 @@ func jointPath(g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym
 		}
 	}
 	if goal < 0 {
-		return nil, nil, nil, false
+		return nil, nil, nil, false, nil
 	}
 
 	// Replay the chain, tracking each side's suspension stack.
@@ -125,5 +134,5 @@ func jointPath(g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym
 		}
 		return out
 	}
-	return prefix, remaindersOf(stack1), remaindersOf(stack2), true
+	return prefix, remaindersOf(stack1), remaindersOf(stack2), true, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"lrcex/internal/grammar"
@@ -79,18 +80,26 @@ func (p *laspPath) pendingRemainders(g *graph) [][]grammar.Sym {
 // terminal (should be impossible for conflicts found by the table builder).
 var errUnreachableConflict = errors.New("core: conflict item unreachable on any lookahead-sensitive path")
 
+// laspCheckEvery is how many BFS expansions pass between context polls in
+// the path searches (lasp, joint path, other-side replay). The searches are
+// finite, but on large automata they can run long enough that cooperative
+// cancellation matters.
+const laspCheckEvery = 4096
+
 // shortestLookaheadSensitivePath finds a shortest path in the
 // lookahead-sensitive graph from (start state, start item, {$}) to
 // (conflict state, conflict reduce item, L) with the conflict terminal in L.
 // All edges have unit weight, so breadth-first search finds a shortest path.
 // Only vertices whose node can reach the conflict node are expanded
-// (Section 6's optimization).
-func shortestLookaheadSensitivePath(g *graph, conflictNode node, conflictTerm grammar.Sym) (*laspPath, error) {
+// (Section 6's optimization). The BFS polls ctx periodically and returns its
+// error when cancelled; sc provides the reusable reachability buffer.
+func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, conflictNode node, conflictTerm grammar.Sym) (*laspPath, error) {
 	a := g.a
 	gr := a.G
 	tIdx := gr.TermIndex(conflictTerm)
 
-	eligible := g.reverseReachable(conflictNode)
+	sc.reach = g.reverseReachableInto(sc.reach, conflictNode)
+	eligible := sc.reach
 
 	interner := grammar.NewTermSetInterner()
 	eof := grammar.NewTermSet(gr.NumTerminals())
@@ -115,6 +124,11 @@ func shortestLookaheadSensitivePath(g *graph, conflictNode node, conflictTerm gr
 
 	found := -1
 	for head := 0; head < len(order) && found < 0; head++ {
+		if head%laspCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cur := order[head]
 		n, laID := cur.key.n, cur.key.la
 		la := interner.Get(laID)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"lrcex/internal/grammar"
@@ -18,8 +19,9 @@ type nonunifying struct {
 }
 
 // buildNonunifying constructs a nonunifying counterexample for the conflict
-// from its shortest lookahead-sensitive path.
-func buildNonunifying(g *graph, c lr.Conflict, path *laspPath) (*nonunifying, error) {
+// from its shortest lookahead-sensitive path. The embedded path searches
+// poll ctx and propagate its error when cancelled.
+func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPath) (*nonunifying, error) {
 	a := g.a
 	gr := a.G
 	item2Node, ok := g.lookup(c.State, c.Item2)
@@ -28,7 +30,7 @@ func buildNonunifying(g *graph, c lr.Conflict, path *laspPath) (*nonunifying, er
 	}
 
 	if c.Kind == lr.ReduceReduce {
-		return buildNonunifyingRR(g, c, path, item2Node)
+		return buildNonunifyingRR(ctx, g, c, path, item2Node)
 	}
 
 	out := &nonunifying{prefix: path.transitionSyms()}
@@ -48,7 +50,10 @@ func buildNonunifying(g *graph, c lr.Conflict, path *laspPath) (*nonunifying, er
 	// supports every item of the state up to lookahead, and a shift item
 	// imposes no lookahead constraint), then continue with the item's
 	// remaining symbols and its pending remainders.
-	rem2, ok := otherSidePending(g, out.prefix, item2Node, c.Sym, false)
+	rem2, ok, err := otherSidePending(ctx, g, out.prefix, item2Node, c.Sym, false)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, errors.New("core: no same-states path to the second conflict item")
 	}
@@ -63,10 +68,14 @@ func buildNonunifying(g *graph, c lr.Conflict, path *laspPath) (*nonunifying, er
 // the shared prefix comes from a joint search over both lookahead-sensitive
 // paths. The single-item shortest path is tried first (it usually works and
 // is cheaper); the joint search is the complete fallback.
-func buildNonunifyingRR(g *graph, c lr.Conflict, path *laspPath, item2Node node) (*nonunifying, error) {
+func buildNonunifyingRR(ctx context.Context, g *graph, c lr.Conflict, path *laspPath, item2Node node) (*nonunifying, error) {
 	gr := g.a.G
 	prefix := path.transitionSyms()
-	if rem2, ok := otherSidePending(g, prefix, item2Node, c.Sym, true); ok {
+	rem2, ok, err := otherSidePending(ctx, g, prefix, item2Node, c.Sym, true)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
 		after1, ok1 := completeStartingWith(gr, path.pendingRemainders(g), c.Sym)
 		after2, ok2 := completeStartingWith(gr, rem2, c.Sym)
 		if ok1 && ok2 {
@@ -78,7 +87,10 @@ func buildNonunifyingRR(g *graph, c lr.Conflict, path *laspPath, item2Node node)
 	if !ok {
 		return nil, errors.New("core: conflict item1 missing from conflict state")
 	}
-	jp, rem1, rem2, ok := jointPath(g, node1, item2Node, c.Sym)
+	jp, rem1, rem2, ok, err := jointPath(ctx, g, node1, item2Node, c.Sym)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, errors.New("core: no joint lookahead-sensitive path for the reduce/reduce conflict")
 	}
@@ -118,8 +130,8 @@ func concat(seqs [][]grammar.Sym) []grammar.Sym {
 // conflicts) the precise lookahead at the second item must also contain the
 // conflict terminal, so the returned remainders can derive it. It returns
 // the pending production remainders of the found derivation, innermost
-// first.
-func otherSidePending(g *graph, prefix []grammar.Sym, item2Node node, t grammar.Sym, needLA bool) ([][]grammar.Sym, bool) {
+// first. The error is non-nil exactly when ctx was cancelled.
+func otherSidePending(ctx context.Context, g *graph, prefix []grammar.Sym, item2Node node, t grammar.Sym, needLA bool) ([][]grammar.Sym, bool, error) {
 	a := g.a
 	gr := a.G
 	tIdx := gr.TermIndex(t)
@@ -140,13 +152,18 @@ func otherSidePending(g *graph, prefix []grammar.Sym, item2Node node, t grammar.
 	}
 	startNode, ok := g.lookup(0, a.StartItem())
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	root := vkey{startNode, interner.Intern(eof), 0}
 	visited := map[vkey]bool{root: true}
 	order := []entry{{key: root, parent: -1}}
 	found := -1
 	for head := 0; head < len(order) && found < 0; head++ {
+		if head%laspCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, err
+			}
+		}
 		cur := order[head]
 		n, laID, pos := cur.key.n, cur.key.la, cur.key.pos
 		if n == item2Node && pos == len(prefix) {
@@ -178,7 +195,7 @@ func otherSidePending(g *graph, prefix []grammar.Sym, item2Node node, t grammar.
 		}
 	}
 	if found < 0 {
-		return nil, false
+		return nil, false, nil
 	}
 
 	// Replay the found chain from the start item to the second conflict
@@ -205,5 +222,5 @@ func otherSidePending(g *graph, prefix []grammar.Sym, item2Node node, t grammar.
 		rhs := gr.Production(stack[i].prod).RHS
 		pending = append(pending, rhs[stack[i].dot+1:])
 	}
-	return pending, true
+	return pending, true, nil
 }

@@ -84,34 +84,45 @@ func TestRandomGrammarInvariants(t *testing.T) {
 			checkUnifying(t, g, ex)
 			// Oracle-check a sample (WithStart + GLR can be slow).
 			if oracleChecked < 40 {
-				sub, err := g.WithStart(ex.Nonterminal)
-				if err != nil {
-					t.Fatalf("iter %d: WithStart: %v", i, err)
-				}
-				syms := remapSyms(t, g, sub, ex.Syms)
-				concrete, ok := engine.Concretize(sub, syms)
-				if !ok {
-					// Random grammars are not reduced: the sentential form
-					// can contain an unproductive nonterminal, in which case
-					// the terminal-level oracle is inapplicable (the paper
-					// assumes reduced grammars, as yacc/CUP warn about
-					// unproductive symbols separately).
+				ambiguous, applicable := oracleConfirms(t, g, ex)
+				if !applicable {
 					continue
 				}
-				glr := engine.NewGLR(lr.BuildTable(lr.Build(sub)))
-				n, err := glr.CountParses(concrete)
-				if err != nil {
-					continue // fork limit: oracle inconclusive
-				}
-				if n < 2 {
-					t.Errorf("iter %d: oracle found %d parse(s) for unifying example %q on\n%s",
-						i, n, sub.SymString(concrete), g)
+				if !ambiguous {
+					t.Errorf("iter %d: oracle refuted unifying example %q on\n%s",
+						i, g.SymString(ex.Syms), g)
 				}
 				oracleChecked++
 			}
 		}
 	}
 	t.Logf("oracle spot-checked %d random unifying examples", oracleChecked)
+}
+
+// oracleConfirms re-parses a unifying counterexample with the independent
+// GLR oracle: the sentential form is concretized to pure terminals and must
+// have at least two distinct parse trees under the ambiguous nonterminal.
+// applicable is false when the oracle cannot rule — either the sentential
+// form contains an unproductive nonterminal (random grammars are not
+// reduced; the paper assumes reduced grammars, as yacc/CUP warn about
+// unproductive symbols separately) or the GLR fork limit was hit.
+func oracleConfirms(t *testing.T, g *grammar.Grammar, ex *core.Example) (ambiguous, applicable bool) {
+	t.Helper()
+	sub, err := g.WithStart(ex.Nonterminal)
+	if err != nil {
+		t.Fatalf("WithStart(%s): %v", g.Name(ex.Nonterminal), err)
+	}
+	syms := remapSyms(t, g, sub, ex.Syms)
+	concrete, ok := engine.Concretize(sub, syms)
+	if !ok {
+		return false, false
+	}
+	glr := engine.NewGLR(lr.BuildTable(lr.Build(sub)))
+	n, err := glr.CountParses(concrete)
+	if err != nil {
+		return false, false // fork limit: oracle inconclusive
+	}
+	return n >= 2, true
 }
 
 func remapSyms(t *testing.T, from, to *grammar.Grammar, syms []grammar.Sym) []grammar.Sym {

@@ -16,6 +16,14 @@ const noNode node = -1
 // graph precomputes the lookup tables of Section 6 ("Data structures"):
 // forward and reverse transitions and production steps between state-items.
 // It is built once per grammar, before the first conflict is analyzed.
+//
+// Immutability invariant: after newGraph returns, every field of graph (and
+// everything reachable through g.a — the automaton and grammar, whose
+// analyses are all precomputed at construction) is read-only. The parallel
+// FindAll workers share one graph without synchronization, so any mutation
+// after construction is a data race; the race-detector tier of the verify
+// path (go test -race ./internal/core/...) enforces this invariant, and
+// assertImmutable spot-checks it cheaply in tests.
 type graph struct {
 	a         *lr.Automaton
 	stateBase []int32 // state -> first node id
@@ -32,6 +40,10 @@ type graph struct {
 	// revProdSteps[n] lists, for an item N -> . gamma, the nodes (same
 	// state) of items with N after the dot.
 	revProdSteps [][]node
+
+	// fp is the adjacency fingerprint recorded at construction; see
+	// assertImmutable.
+	fp uint64
 }
 
 func newGraph(a *lr.Automaton) *graph {
@@ -85,8 +97,44 @@ func newGraph(a *lr.Automaton) *graph {
 			}
 		}
 	}
+	g.fp = g.fingerprint()
 	return g
 }
+
+// fingerprint hashes the adjacency tables (FNV-1a). Recorded once by
+// newGraph; assertImmutable recomputes it to spot-check that no search
+// mutated the shared read-only structures.
+func (g *graph) fingerprint() uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v int64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime
+		}
+	}
+	for n := 0; n < g.numNodes; n++ {
+		mix(int64(g.fwdTrans[n]))
+		for _, m := range g.revTrans[n] {
+			mix(int64(m))
+		}
+		mix(-1)
+		for _, m := range g.prodSteps[n] {
+			mix(int64(m))
+		}
+		mix(-2)
+		for _, m := range g.revProdSteps[n] {
+			mix(int64(m))
+		}
+		mix(-3)
+	}
+	return h
+}
+
+// assertImmutable reports whether the graph's adjacency tables still match
+// their construction-time fingerprint. Searches must never mutate the shared
+// graph; tests call this after concurrent FindAll runs.
+func (g *graph) assertImmutable() bool { return g.fingerprint() == g.fp }
 
 // nodeOf converts (state, item index) to a node id.
 func (g *graph) nodeOf(state, itemIdx int) node {
@@ -140,7 +188,19 @@ func (g *graph) prevSym(n node) grammar.Sym { return g.a.PrevSym(g.itemOf(n)) }
 // ("Finding shortest lookahead-sensitive path"): only states that can reach
 // the conflict item need be explored.
 func (g *graph) reverseReachable(target node) []bool {
-	seen := make([]bool, g.numNodes)
+	return g.reverseReachableInto(nil, target)
+}
+
+// reverseReachableInto is reverseReachable with a caller-provided buffer
+// (per-worker scratch): when seen has sufficient capacity it is cleared and
+// reused instead of reallocated.
+func (g *graph) reverseReachableInto(seen []bool, target node) []bool {
+	if cap(seen) < g.numNodes {
+		seen = make([]bool, g.numNodes)
+	} else {
+		seen = seen[:g.numNodes]
+		clear(seen)
+	}
 	stack := []node{target}
 	seen[target] = true
 	for len(stack) > 0 {

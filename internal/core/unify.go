@@ -2,7 +2,7 @@ package core
 
 import (
 	"container/heap"
-	"time"
+	"context"
 
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
@@ -188,7 +188,6 @@ type unifySearch struct {
 	// shortest lookahead-sensitive path (Section 6); nil = extended search.
 	allowedState []bool
 
-	deadline   time.Time
 	maxConfigs int
 
 	heap    configHeap
@@ -196,16 +195,18 @@ type unifySearch struct {
 
 	// stats
 	Expanded int
-	TimedOut bool
-	Capped   bool
+	// Cancelled is set when the context passed to run was done (per-conflict
+	// deadline or caller cancellation — the caller distinguishes the two by
+	// inspecting its parent context).
+	Cancelled bool
+	Capped    bool
 }
 
-func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, deadline time.Time, maxConfigs int) *unifySearch {
+func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, maxConfigs int) *unifySearch {
 	return &unifySearch{
 		g: g, costs: costs, c: c,
 		tIdx:         g.a.G.TermIndex(c.Sym),
 		allowedState: allowedState,
-		deadline:     deadline,
 		maxConfigs:   maxConfigs,
 		visited:      make(map[string]bool),
 	}
@@ -222,8 +223,11 @@ func (u *unifySearch) push(c *config) {
 
 // run returns a unifying counterexample, or nil when the search space is
 // exhausted (definitely none under the restriction) or limits were hit
-// (TimedOut / Capped distinguish the cases).
-func (u *unifySearch) run() *unifyResult {
+// (Cancelled / Capped distinguish the cases). Cancellation is cooperative:
+// the frontier loop polls ctx every checkEvery expansions, so a cancelled
+// search stops within a bounded amount of work instead of at a wall-clock
+// poll.
+func (u *unifySearch) run(ctx context.Context) *unifyResult {
 	g := u.g
 	n1, ok1 := g.lookup(u.c.State, u.c.Item1)
 	n2, ok2 := g.lookup(u.c.State, u.c.Item2)
@@ -236,13 +240,16 @@ func (u *unifySearch) run() *unifyResult {
 		orig1: 0, orig2: 0,
 	})
 
-	checkEvery := 1024
+	const checkEvery = 256
 	for u.heap.Len() > 0 {
-		if u.Expanded%checkEvery == 0 && !u.deadline.IsZero() && time.Now().After(u.deadline) {
-			u.TimedOut = true
+		if u.Expanded%checkEvery == 0 && ctx.Err() != nil {
+			u.Cancelled = true
 			return nil
 		}
-		if u.maxConfigs > 0 && u.Expanded > u.maxConfigs {
+		// The configuration cap is deterministic (unlike the wall clock):
+		// at most maxConfigs configurations are expanded, and the winning
+		// configuration may be the maxConfigs-th itself.
+		if u.maxConfigs > 0 && u.Expanded >= u.maxConfigs {
 			u.Capped = true
 			return nil
 		}

@@ -21,6 +21,8 @@
 package lrcex
 
 import (
+	"context"
+
 	"lrcex/internal/core"
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
@@ -64,6 +66,11 @@ const (
 	NonunifyingSkipped   = core.NonunifyingSkipped
 )
 
+// NoTimeout disables a time limit when assigned to Options.PerConflictTimeout
+// or Options.CumulativeTimeout (the zero value still selects the paper's
+// defaults).
+const NoTimeout = core.NoTimeout
+
 // ParseGrammar parses a grammar written in the yacc/CUP-like grammar
 // definition language (see internal/gdl for the format). The name appears in
 // error messages.
@@ -100,7 +107,20 @@ func (r *Result) Conflicts() []Conflict { return r.Table.Conflicts }
 // Find constructs a counterexample for one conflict.
 func (r *Result) Find(c Conflict) (*Example, error) { return r.finder.Find(c) }
 
+// FindContext is Find with cooperative cancellation.
+func (r *Result) FindContext(ctx context.Context, c Conflict) (*Example, error) {
+	return r.finder.FindContext(ctx, c)
+}
+
 // FindAll constructs one counterexample per conflict, in conflict order,
 // sharing the cumulative time budget across conflicts as the paper's
-// implementation does.
+// implementation does. Conflicts are searched on Options.Parallelism
+// workers (default GOMAXPROCS); results are returned in conflict order
+// regardless of completion order.
 func (r *Result) FindAll() ([]*Example, error) { return r.finder.FindAll() }
+
+// FindAllContext is FindAll with cooperative cancellation: in-flight
+// searches observe ctx at their next poll point and stop.
+func (r *Result) FindAllContext(ctx context.Context) ([]*Example, error) {
+	return r.finder.FindAllContext(ctx)
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# verify.sh — the repo's full verification ladder.
+#
+#   tier 1: go build ./... && go test ./...      (the hard gate; ROADMAP.md)
+#   tier 2: go vet + race detector on the concurrent packages
+#   tier 3: a short native-fuzz smoke of the whole pipeline
+#
+# Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
+set -eu
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${1:-10s}"
+
+echo "== tier 1: build + tests =="
+go build ./...
+go test ./...
+
+echo "== tier 2: vet + race =="
+go vet ./...
+go test -race ./internal/core/... ./internal/eval/...
+
+echo "== tier 3: fuzz smoke (${FUZZTIME}) =="
+go test -run='^$' -fuzz=FuzzFindAll -fuzztime="$FUZZTIME" ./internal/core/
+
+echo "verify: OK"
