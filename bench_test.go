@@ -245,6 +245,43 @@ func BenchmarkTable1Parallel(b *testing.B) {
 	}
 }
 
+// unifyAllocsOpts are the deterministic budgets used by the allocation
+// benchmark and its regression guard: no wall clock, sequential, and a
+// configuration cap comfortably above what the dangling-else conflict needs.
+func unifyAllocsOpts() core.Options {
+	return core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         200000,
+		Parallelism:        1,
+	}
+}
+
+// BenchmarkUnifyAllocs measures the allocation profile of the unifying search
+// on the classic dangling-else conflict (figure1 under 'else'). The finder —
+// and with it the graph tables — is built once outside the loop, so B/op and
+// allocs/op measure the per-conflict search alone: configurations, item
+// sequences, derivations, frontier, and dedup table.
+//
+// Slice-copy baseline (seed implementation, recorded before the zero-copy
+// rewrite, on the reference machine): 705 allocs/op, 58840 B/op, ~73 µs/op.
+// The persistent cons-deque + hashed dedup + bucket frontier implementation
+// must stay ≥ 5× below that allocation baseline; TestUnifyAllocsRegression
+// enforces the bound.
+func BenchmarkUnifyAllocs(b *testing.B) {
+	tbl := mustTable(b, "figure1")
+	c := conflictUnder(b, tbl, "else")
+	f := core.NewFinder(tbl, unifyAllocsOpts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := f.Find(c)
+		if err != nil || ex.Kind != core.Unifying {
+			b.Fatalf("expected unifying result, got %v (%v)", ex.Kind, err)
+		}
+	}
+}
+
 // BenchmarkEffectiveness measures the Section 7.2 comparison machinery: the
 // naive prior-PPG construction plus its lookahead validation, across the
 // small-grammar corpus.

@@ -28,7 +28,11 @@ import (
 	"lrcex/internal/core"
 	"lrcex/internal/corpus"
 	"lrcex/internal/eval"
+	"lrcex/internal/profiling"
 )
+
+// showStats mirrors the -stats flag for the table printers.
+var showStats bool
 
 func main() {
 	var (
@@ -46,8 +50,19 @@ func main() {
 		cumulative    = flag.Duration("cumulative", 2*time.Minute, "cumulative per-grammar limit (negative = no limit)")
 		parallelism   = flag.Int("j", 0, "conflicts searched in parallel per grammar (0 = GOMAXPROCS)")
 		speedup       = flag.Bool("speedup", false, "measure FindAll wall-clock at 1/2/4/8 workers")
+		stats         = flag.Bool("stats", false, "print per-grammar search statistics (expansions, dedup hits, memory)")
+		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+	showStats = *stats
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cexeval:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opts := eval.Options{
 		Finder: core.Options{
@@ -104,6 +119,25 @@ func entriesFor(category string) []*corpus.Entry {
 func runTable1(category string, opts eval.Options) {
 	rows := eval.Table1(entriesFor(category), opts)
 	fmt.Print(eval.FormatRows(rows, opts.Baseline))
+	if showStats {
+		printStats(rows)
+	}
+}
+
+// printStats prints the per-grammar search statistics plus a totals line
+// (cexeval -stats): the frontier and dedup traffic of the unifying search and
+// the arena footprint of the zero-copy search core.
+func printStats(rows []eval.Row) {
+	fmt.Println("\nSearch statistics:")
+	var total core.SearchStats
+	for _, r := range rows {
+		if r.Err != nil {
+			continue
+		}
+		fmt.Printf("  %-12s %s\n", r.Name, r.Stats)
+		total.Add(r.Stats)
+	}
+	fmt.Printf("  %-12s %s\n", "TOTAL", total)
 }
 
 // runSpeedup measures the parallel-FindAll scaling on each grammar of the
@@ -134,6 +168,9 @@ func runOne(name string, opts eval.Options) {
 	fmt.Print(eval.FormatRows([]eval.Row{row}, opts.Baseline))
 	if row.Err != nil {
 		os.Exit(1)
+	}
+	if showStats {
+		fmt.Printf("\nsearch stats: %s\n", row.Stats)
 	}
 	_, tbl, err := eval.Build(e)
 	if err != nil {
@@ -189,7 +226,11 @@ func runFig9(opts eval.Options) {
 		os.Exit(1)
 	}
 	fmt.Println("Figure 9: the challenging conflict of Section 3.1")
-	fmt.Printf("  configurations expanded: %d\n\n", ex.Expanded)
+	fmt.Printf("  configurations expanded: %d\n", ex.Expanded)
+	if showStats {
+		fmt.Printf("  search stats: %s\n", ex.Stats)
+	}
+	fmt.Println()
 	fmt.Print(ex.Report(res.Automaton))
 	_ = opts
 }

@@ -19,6 +19,7 @@ import (
 
 	"lrcex"
 	"lrcex/internal/corpus"
+	"lrcex/internal/profiling"
 )
 
 func main() {
@@ -29,8 +30,18 @@ func main() {
 		extended    = flag.Bool("extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
 		quiet       = flag.Bool("q", false, "print one summary line per conflict instead of full reports")
 		parallelism = flag.Int("j", 0, "conflicts searched in parallel (0 = GOMAXPROCS, 1 = sequential)")
+		stats       = flag.Bool("stats", false, "print search statistics (expansions, dedup hits, memory) after the reports")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cexgen:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	name, src, err := loadSource(*corpusName, flag.Args())
 	if err != nil {
@@ -90,6 +101,9 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(ex.Report(res.Automaton))
+	}
+	if *stats {
+		fmt.Printf("\nsearch stats: %s\n", res.SearchStats())
 	}
 }
 

@@ -27,6 +27,20 @@ type Deriv struct {
 // leaf returns a leaf derivation of sym.
 func leaf(sym grammar.Sym) *Deriv { return &Deriv{Sym: sym, Prod: -1} }
 
+// cloneDeriv deep-copies a derivation tree out of the search arena so the
+// arena can be recycled. Leaves are the graph's interned immortal leaf
+// derivations and are shared, not copied.
+func cloneDeriv(d *Deriv) *Deriv {
+	if d.Prod < 0 {
+		return d
+	}
+	children := make([]*Deriv, len(d.Children))
+	for i, c := range d.Children {
+		children[i] = cloneDeriv(c)
+	}
+	return &Deriv{Sym: d.Sym, Prod: d.Prod, Children: children}
+}
+
 // Yield appends the leaf symbols to dst and returns it.
 func (d *Deriv) Yield(dst []grammar.Sym) []grammar.Sym {
 	if d.Prod < 0 {

@@ -47,6 +47,13 @@ type Options struct {
 	// the wall-clock limits this cap is deterministic: the same grammar and
 	// options always expand the same configurations in the same order.
 	MaxConfigs int
+	// FIFOFrontier selects the monotone bucket-queue frontier for the
+	// unifying search: O(1) push/pop, with equal-cost configurations popping
+	// in push order. The default frontier replicates the historical binary
+	// heap bit-for-bit, so reports stay byte-identical with earlier releases;
+	// the FIFO tie-break is still fully deterministic but may choose a
+	// different — equally minimal — witness for a handful of conflicts.
+	FIFOFrontier bool
 	// Costs is the action cost model (zero value = DefaultCosts).
 	Costs CostModel
 }
@@ -125,9 +132,15 @@ type Example struct {
 	After2 []grammar.Sym
 
 	// Elapsed is the wall-clock time spent on this conflict; Expanded the
-	// number of configurations the unifying search expanded.
+	// number of configurations the unifying search expanded (also available,
+	// with the rest of the search counters, in Stats).
 	Elapsed  time.Duration
 	Expanded int
+
+	// Stats itemizes the search work done for this conflict: unifying-search
+	// frontier traffic and allocation footprint plus the breadth-first path
+	// searches' expansions.
+	Stats SearchStats
 }
 
 // timeBank is the shared cumulative budget of Section 6 (the 2-minute limit),
@@ -171,7 +184,40 @@ func (b *timeBank) charge(d time.Duration) {
 // goroutines.
 type scratch struct {
 	reach   []bool // reverse-reachability marks (lasp eligibility)
+	reach2  []bool // second reachability buffer (joint reduce/reduce search)
 	allowed []bool // states on the shortest lookahead-sensitive path
+
+	// busy is the recursion guard of expandStartingWith; the callee leaves it
+	// empty on every return path, so it is allocated once per worker instead
+	// of once per completion attempt.
+	busy map[grammar.Sym]bool
+
+	// Visited sets and BFS order buffers of the three path searches, reused
+	// across conflicts (cleared, not reallocated).
+	laspVisited map[uint64]bool
+	laspOrder   []laspEntry
+	osVisited   map[osKey]bool
+	osOrder     []osEntry
+	jpVisited   map[jpKey]bool
+	jpOrder     []jpEntry
+
+	// pathExpanded counts BFS expansions across the path searches of the
+	// conflict in flight; find resets it per conflict and folds it into
+	// Example.Stats.
+	pathExpanded int64
+
+	// mem is the unifying search's reusable memory: object arenas, frontier,
+	// visited table. Nothing allocated from it survives a find call (winning
+	// derivations are deep-copied), so it recycles wholesale per conflict.
+	mem searchMem
+}
+
+// busySet returns the lazily allocated expansion recursion guard.
+func (sc *scratch) busySet() map[grammar.Sym]bool {
+	if sc.busy == nil {
+		sc.busy = make(map[grammar.Sym]bool, 8)
+	}
+	return sc.busy
 }
 
 // allowedStates resets and fills the allowed-state buffer for one conflict.
@@ -198,6 +244,30 @@ type Finder struct {
 	g    *graph
 	opts Options
 	bank *timeBank
+
+	statsMu sync.Mutex
+	stats   SearchStats
+
+	// scPool recycles scratch (and its arenas) across Find/FindContext
+	// calls; FindAllContext workers hold a scratch each for their whole run
+	// instead.
+	scPool sync.Pool
+}
+
+// Stats returns the running totals of search work across every conflict this
+// Finder has processed (PeakFrontier is the max across conflicts, the other
+// counters are sums). Safe for concurrent use.
+func (f *Finder) Stats() SearchStats {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	return f.stats
+}
+
+// addStats folds one conflict's stats into the running totals.
+func (f *Finder) addStats(s SearchStats) {
+	f.statsMu.Lock()
+	f.stats.Add(s)
+	f.statsMu.Unlock()
 }
 
 // NewFinder returns a Finder over the table's automaton.
@@ -307,7 +377,12 @@ func (f *Finder) Find(c lr.Conflict) (*Example, error) {
 // FindContext is Find with cooperative cancellation. Concurrent FindContext
 // calls on one Finder are safe and share the cumulative time-bank.
 func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, error) {
-	return f.find(ctx, c, &scratch{})
+	sc, _ := f.scPool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
+	defer f.scPool.Put(sc)
+	return f.find(ctx, c, sc)
 }
 
 // find constructs a counterexample for one conflict: first the shortest
@@ -321,6 +396,7 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 	}
 	start := time.Now()
 	a := f.tbl.A
+	sc.pathExpanded = 0
 
 	conflictNode, ok := f.g.lookup(c.State, c.Item1)
 	if !ok {
@@ -344,9 +420,10 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 			searchCtx, cancel = context.WithDeadline(ctx, start.Add(f.opts.PerConflictTimeout))
 			defer cancel()
 		}
-		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, f.opts.MaxConfigs)
+		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, f.opts.MaxConfigs, &sc.mem, f.opts.FIFOFrontier)
 		res := search.run(searchCtx)
 		ex.Expanded = search.Expanded
+		ex.Stats = search.stats()
 		if search.Cancelled {
 			if err := ctx.Err(); err != nil {
 				return nil, err // the caller cancelled, not the per-conflict deadline
@@ -360,7 +437,9 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 			ex.Deriv1 = res.deriv1
 			ex.Deriv2 = res.deriv2
 			ex.Elapsed = time.Since(start)
+			ex.Stats.PathExpanded = sc.pathExpanded
 			f.bank.charge(ex.Elapsed)
+			f.addStats(ex.Stats)
 			return ex, nil
 		}
 		if search.Cancelled || search.Capped {
@@ -372,7 +451,7 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 		ex.Kind = NonunifyingSkipped
 	}
 
-	nu, err := buildNonunifying(ctx, f.g, c, path)
+	nu, err := buildNonunifying(ctx, f.g, c, path, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -380,6 +459,8 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 	ex.After1 = nu.after1
 	ex.After2 = nu.after2
 	ex.Elapsed = time.Since(start)
+	ex.Stats.PathExpanded = sc.pathExpanded
 	f.bank.charge(ex.Elapsed)
+	f.addStats(ex.Stats)
 	return ex, nil
 }

@@ -1,0 +1,263 @@
+package core
+
+// The frontier and visited set of the unifying search.
+//
+// Two frontier implementations share the frontier interface:
+//
+//   - heapFrontier (the default) is a concrete-typed replica of
+//     container/heap over cost-ordered configurations. Its sift-up/sift-down
+//     logic mirrors the standard library's algorithms operation for
+//     operation, so the pop order — including the order among equal-cost
+//     configurations, which the cost-only comparison leaves to sift history —
+//     is bit-identical to the container/heap frontier this file replaces.
+//     That equality is what keeps every report byte-identical to the
+//     pre-rewrite search core (locked by TestGoldenReports and property-
+//     tested against the real container/heap in frontier_test.go), while
+//     dropping the interface-boxed elements and per-comparison dynamic
+//     dispatch of the standard library.
+//
+//   - bucketQueue (Options.FIFOFrontier) is a monotone bucket priority
+//     queue: action costs are small bounded positive integers (Shift=1 …
+//     RevProdStep+DupProdStep=60 under the default model) and the search is
+//     monotone — every successor costs at least as much as the configuration
+//     being expanded — so a circular array of FIFO buckets indexed by cost
+//     mod (maxStep+1) gives O(1) push and pop with no sift traffic at all.
+//     Equal-cost configurations then pop in push order, which is a different
+//     (equally minimal) tie-break than the heap's: on the Table-1 corpus it
+//     changes exactly one reported witness (a Java.4 dangling-else variant),
+//     which is why it is opt-in rather than the default.
+//
+// visitedTable replaces the map[string]bool dedup set: the key is the 64-bit
+// combined rolling hash of a configuration (both item sequences plus the
+// stage markers), and collisions fall back to a structural comparison —
+// dedup semantics are exactly the slice implementation's, just without
+// minting a byte string per push. Entries chain through a flat arena slice
+// so that recording a configuration allocates nothing in the steady state.
+
+// frontier is the priority queue of the unifying search. Implementations
+// must pop in nondecreasing cost order; the tie-break among equal costs is
+// implementation-defined (see above).
+type frontier interface {
+	push(c *config)
+	pop() *config // nil when empty
+	size() int
+	peakSize() int
+}
+
+// heapFrontier replicates container/heap exactly (Less is cost-only, Swap is
+// element exchange, Push appends, Pop swaps the root to the end) with
+// concrete types.
+type heapFrontier struct {
+	items []*config
+	peak  int
+}
+
+func (h *heapFrontier) reset() {
+	clear(h.items)
+	h.items = h.items[:0]
+	h.peak = 0
+}
+
+func (h *heapFrontier) size() int     { return len(h.items) }
+func (h *heapFrontier) peakSize() int { return h.peak }
+
+// push is heap.Push: append, then sift up from the last position.
+func (h *heapFrontier) push(c *config) {
+	h.items = append(h.items, c)
+	if len(h.items) > h.peak {
+		h.peak = len(h.items)
+	}
+	// up(j = len-1)
+	items := h.items
+	j := len(items) - 1
+	x := items[j]
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(x.cost < items[i].cost) {
+			break
+		}
+		items[j] = items[i]
+		j = i
+	}
+	items[j] = x
+}
+
+// pop is heap.Pop: swap root and last, sift the new root down over the
+// shortened heap, then remove the last element.
+func (h *heapFrontier) pop() *config {
+	items := h.items
+	n := len(items) - 1
+	if n < 0 {
+		return nil
+	}
+	items[0], items[n] = items[n], items[0]
+	// down(i0 = 0, n)
+	i := 0
+	x := items[0]
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && items[j2].cost < items[j1].cost {
+			j = j2
+		}
+		if !(items[j].cost < x.cost) {
+			break
+		}
+		items[i] = items[j]
+		i = j
+	}
+	items[i] = x
+	c := items[n]
+	items[n] = nil // release for GC / arena hygiene
+	h.items = items[:n]
+	return c
+}
+
+// bqBucket is one FIFO bucket: a slice drained through head and recycled
+// in place once empty.
+type bqBucket struct {
+	items []*config
+	head  int
+}
+
+// bucketQueue is a monotone bucket priority queue over configuration cost.
+type bucketQueue struct {
+	buckets []bqBucket
+	span    int // len(buckets) == max cost increment + 1
+	cur     int // cost currently being drained; never decreases while nonempty
+	n       int
+	peak    int // high-water mark of n, for SearchStats
+}
+
+// reset sizes the ring for cost increments of at most maxStep and empties
+// the buckets, keeping their capacity.
+func (q *bucketQueue) reset(maxStep int) {
+	if maxStep < 1 {
+		maxStep = 1
+	}
+	if span := maxStep + 1; span > len(q.buckets) {
+		q.buckets = append(q.buckets, make([]bqBucket, span-len(q.buckets))...)
+	}
+	q.span = maxStep + 1
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		clear(b.items)
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	q.cur, q.n, q.peak = 0, 0, 0
+}
+
+func (q *bucketQueue) size() int     { return q.n }
+func (q *bucketQueue) peakSize() int { return q.peak }
+
+// push enqueues c. Costs must lie within a window of span consecutive values
+// containing the minimum pending cost, which the cost model guarantees:
+// successors of a cost-d configuration cost between d and d+maxStep. A push
+// below the current drain level lowers it — this happens legitimately when
+// the frontier drains empty mid-expansion (the last configuration was popped
+// and its successors are being pushed one by one, not in cost order), and
+// defensively under a hand-built model with non-positive increments, where
+// pops may interleave out of order but nothing is ever lost.
+func (q *bucketQueue) push(c *config) {
+	if q.n == 0 || c.cost < q.cur {
+		q.cur = c.cost
+	}
+	b := &q.buckets[c.cost%q.span]
+	b.items = append(b.items, c)
+	q.n++
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+}
+
+// pop removes and returns the minimum-cost configuration (FIFO among equal
+// costs), or nil when the frontier is empty.
+func (q *bucketQueue) pop() *config {
+	if q.n == 0 {
+		return nil
+	}
+	for {
+		b := &q.buckets[q.cur%q.span]
+		if b.head < len(b.items) {
+			c := b.items[b.head]
+			b.items[b.head] = nil // release for GC
+			b.head++
+			if b.head == len(b.items) {
+				b.items = b.items[:0]
+				b.head = 0
+			}
+			q.n--
+			return c
+		}
+		q.cur++
+	}
+}
+
+// visitedTable is the hashed dedup set of the unifying search.
+type visitedTable struct {
+	m       map[uint64]int32
+	entries []visEntry
+	buf     []node // scratch for structural comparisons
+}
+
+// visEntry is one recorded configuration; entries with equal hashes chain
+// through next (index into the entries slice, -1 terminates).
+type visEntry struct {
+	c    *config
+	next int32
+}
+
+// reset empties the table, keeping the map and the entry arena.
+func (v *visitedTable) reset() {
+	if v.m == nil {
+		v.m = make(map[uint64]int32, 256)
+	} else {
+		clear(v.m)
+	}
+	clear(v.entries)
+	v.entries = v.entries[:0]
+}
+
+// lookup reports whether a configuration structurally equal to c was already
+// recorded under hash h. Equality ignores the derivation lists and cost,
+// exactly as the string key did: two configurations with the same item
+// sequences and stage markers are the same search state.
+func (v *visitedTable) lookup(h uint64, c *config) bool {
+	head, ok := v.m[h]
+	if !ok {
+		return false
+	}
+	for j := head; j >= 0; j = v.entries[j].next {
+		if v.equal(v.entries[j].c, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// record remembers c under hash h (the caller has established via lookup
+// that no structurally equal configuration is present).
+func (v *visitedTable) record(h uint64, c *config) {
+	head, ok := v.m[h]
+	if !ok {
+		head = -1
+	}
+	v.entries = append(v.entries, visEntry{c: c, next: head})
+	v.m[h] = int32(len(v.entries)) - 1
+}
+
+func (v *visitedTable) equal(a, b *config) bool {
+	if a.orig1 != b.orig1 || a.orig2 != b.orig2 {
+		return false
+	}
+	var ok bool
+	if ok, v.buf = sameItems(a.s1, b.s1, v.buf); !ok {
+		return false
+	}
+	ok, v.buf = sameItems(a.s2, b.s2, v.buf)
+	return ok
+}

@@ -1,0 +1,187 @@
+package core
+
+// Property tests for the two frontier implementations.
+//
+// The heapFrontier's doc comment promises that its pop order — including the
+// order among equal-cost configurations, which the cost-only comparison
+// leaves entirely to sift history — is bit-identical to container/heap over
+// the same Less. TestHeapFrontierMatchesContainerHeap checks exactly that: a
+// reference frontier built on the real container/heap is driven through the
+// same random push/pop interleavings and must return the identical *config
+// pointers in the identical order. This is the property that keeps every
+// counterexample report byte-identical to the pre-rewrite search core.
+//
+// The bucketQueue promises a different contract: pops are nondecreasing in
+// cost and FIFO among equal costs. TestBucketQueueOrder checks it against a
+// sort-based model.
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the reference: the actual standard-library heap over the same
+// cost-only Less the slice implementation used.
+type refHeap struct {
+	items []*config
+	peak  int
+}
+
+func (h *refHeap) Len() int           { return len(h.items) }
+func (h *refHeap) Less(i, j int) bool { return h.items[i].cost < h.items[j].cost }
+func (h *refHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *refHeap) Push(x interface{}) { h.items = append(h.items, x.(*config)) }
+func (h *refHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return x
+}
+
+func (h *refHeap) push(c *config) {
+	heap.Push(h, c)
+	if len(h.items) > h.peak {
+		h.peak = len(h.items)
+	}
+}
+
+func (h *refHeap) pop() *config {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return heap.Pop(h).(*config)
+}
+
+func TestHeapFrontierMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 300; round++ {
+		var got heapFrontier
+		got.reset()
+		ref := &refHeap{}
+		// Small cost universe so equal-cost ties are the common case — the
+		// tie-break among equal costs is precisely what this test pins down.
+		costSpan := 1 + rng.Intn(6)
+		for step := 0; step < 400; step++ {
+			if got.size() != len(ref.items) {
+				t.Fatalf("round %d step %d: size %d != ref %d", round, step, got.size(), len(ref.items))
+			}
+			if rng.Intn(3) == 0 {
+				g, w := got.pop(), ref.pop()
+				if g != w {
+					t.Fatalf("round %d step %d: pop returned different configuration (cost %v vs %v)",
+						round, step, costOf(g), costOf(w))
+				}
+			} else {
+				c := &config{cost: rng.Intn(costSpan)}
+				got.push(c)
+				ref.push(c)
+			}
+		}
+		// Drain: the full remaining order must agree too.
+		for {
+			g, w := got.pop(), ref.pop()
+			if g != w {
+				t.Fatalf("round %d drain: pop returned different configuration", round)
+			}
+			if g == nil {
+				break
+			}
+		}
+		if got.peakSize() != ref.peak {
+			t.Fatalf("round %d: peak %d != ref %d", round, got.peakSize(), ref.peak)
+		}
+	}
+}
+
+func costOf(c *config) interface{} {
+	if c == nil {
+		return nil
+	}
+	return c.cost
+}
+
+// TestBucketQueueOrder drives the bucket queue through random monotone
+// push/pop interleavings (successor costs only ever grow, as in the search)
+// and checks both halves of its contract: nondecreasing cost order, FIFO
+// among equal costs.
+func TestBucketQueueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type tagged struct {
+		cost, seq int
+	}
+	for round := 0; round < 200; round++ {
+		maxStep := 1 + rng.Intn(60)
+		var q bucketQueue
+		q.reset(maxStep)
+		// Model: the multiset of pushed-but-unpopped configurations with
+		// their push sequence numbers.
+		pending := map[*config]tagged{}
+		seq, floor, lastCost, lastSeq := 0, 0, -1, -1
+		for step := 0; step < 500; step++ {
+			if rng.Intn(3) != 0 || len(pending) == 0 {
+				// The search pushes successors of the configuration most
+				// recently popped: cost in [floor, floor+maxStep]. The very
+				// first push is the start configuration at the minimum cost,
+				// which anchors the queue's monotone drain level — the
+				// precondition the search establishes by construction.
+				cost := floor + rng.Intn(maxStep+1)
+				if seq == 0 {
+					cost = floor
+				}
+				c := &config{cost: cost}
+				q.push(c)
+				pending[c] = tagged{cost: c.cost, seq: seq}
+				seq++
+				continue
+			}
+			c := q.pop()
+			if c == nil {
+				t.Fatalf("round %d step %d: pop returned nil with %d pending", round, step, len(pending))
+			}
+			tag, ok := pending[c]
+			if !ok {
+				t.Fatalf("round %d step %d: pop returned unknown configuration", round, step)
+			}
+			delete(pending, c)
+			// Minimality: nothing pending is cheaper.
+			for _, other := range pending {
+				if other.cost < tag.cost {
+					t.Fatalf("round %d step %d: popped cost %d while cost %d pending",
+						round, step, tag.cost, other.cost)
+				}
+			}
+			// FIFO among equal costs: within one cost level, sequence
+			// numbers only grow.
+			if tag.cost == lastCost && tag.seq < lastSeq {
+				t.Fatalf("round %d step %d: FIFO violated at cost %d (seq %d after %d)",
+					round, step, tag.cost, tag.seq, lastSeq)
+			}
+			lastCost, lastSeq = tag.cost, tag.seq
+			floor = tag.cost
+		}
+		// Drain and check the suffix too.
+		for len(pending) > 0 {
+			c := q.pop()
+			tag := pending[c]
+			delete(pending, c)
+			for _, other := range pending {
+				if other.cost < tag.cost {
+					t.Fatalf("round %d drain: popped cost %d while cost %d pending", round, tag.cost, other.cost)
+				}
+			}
+			if tag.cost == lastCost && tag.seq < lastSeq {
+				t.Fatalf("round %d drain: FIFO violated at cost %d", round, tag.cost)
+			}
+			lastCost, lastSeq = tag.cost, tag.seq
+		}
+		if q.pop() != nil {
+			t.Fatalf("round %d: pop from empty queue returned a configuration", round)
+		}
+		if q.size() != 0 {
+			t.Fatalf("round %d: size %d after drain", round, q.size())
+		}
+	}
+}

@@ -6,6 +6,26 @@ import (
 	"lrcex/internal/grammar"
 )
 
+// jpKey is a vertex of the joint search: a pair of lookahead-sensitive
+// vertices with their interned precise-lookahead handles. Handles are dense
+// small indices, so int32 keeps the key at 16 bytes.
+type jpKey struct {
+	n1, n2   node
+	la1, la2 int32
+}
+
+// jpEntry is one BFS vertex of the joint search plus the parent link and
+// edge label needed for reconstruction. The buffer holding these lives in
+// the per-worker scratch.
+type jpEntry struct {
+	key    jpKey
+	parent int32
+	// sym is the joint transition symbol, or NoSym for production steps;
+	// side marks which side stepped (1 or 2), 0 for transitions.
+	sym  grammar.Sym
+	side int8
+}
+
 // jointPath finds, for a reduce/reduce conflict, a single transition prefix
 // under which BOTH reduce items carry the conflict terminal in their precise
 // lookahead sets. The two derivations share every transition but may take
@@ -16,39 +36,38 @@ import (
 // derivation of item2 with the conflict terminal, because the two items'
 // lookaheads reach the merged LALR state through different contexts.)
 // The BFS polls ctx periodically; err is non-nil exactly when the search was
-// cancelled (a not-found outcome is ok == false with a nil error).
-func jointPath(ctx context.Context, g *graph, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym, rem1, rem2 [][]grammar.Sym, ok bool, err error) {
+// cancelled (a not-found outcome is ok == false with a nil error). sc
+// provides both reachability buffers and the reusable visited/order buffers.
+func jointPath(ctx context.Context, g *graph, sc *scratch, node1, node2 node, t grammar.Sym) (prefix []grammar.Sym, rem1, rem2 [][]grammar.Sym, ok bool, err error) {
 	a := g.a
 	gr := a.G
 	tIdx := gr.TermIndex(t)
 
-	elig1 := g.reverseReachable(node1)
-	elig2 := g.reverseReachable(node2)
+	sc.reach = g.reverseReachableInto(sc.reach, node1)
+	sc.reach2 = g.reverseReachableInto(sc.reach2, node2)
+	elig1, elig2 := sc.reach, sc.reach2
 
 	interner := grammar.NewTermSetInterner()
 	eof := grammar.NewTermSet(gr.NumTerminals())
 	eof.Add(gr.TermIndex(grammar.EOF))
-	eofID := interner.Intern(eof)
+	eofID := int32(interner.Intern(eof))
 
-	type vkey struct {
-		n1, n2   node
-		la1, la2 int
+	if sc.jpVisited == nil {
+		sc.jpVisited = make(map[jpKey]bool, 256)
+	} else {
+		clear(sc.jpVisited)
 	}
-	type entry struct {
-		key    vkey
-		parent int
-		// sym is the joint transition symbol, or NoSym for production steps;
-		// side marks which side stepped (1 or 2), 0 for transitions.
-		sym  grammar.Sym
-		side int
-	}
+	visited := sc.jpVisited
+	order := sc.jpOrder[:0]
+	defer func() { sc.jpOrder = order[:0] }()
+
 	startNode, found := g.lookup(0, a.StartItem())
 	if !found {
 		return nil, nil, nil, false, nil
 	}
-	root := vkey{startNode, startNode, eofID, eofID}
-	visited := map[vkey]bool{root: true}
-	order := []entry{{key: root, parent: -1, sym: grammar.NoSym}}
+	root := jpKey{startNode, startNode, eofID, eofID}
+	visited[root] = true
+	order = append(order, jpEntry{key: root, parent: -1, sym: grammar.NoSym})
 	goal := -1
 	for head := 0; head < len(order) && goal < 0; head++ {
 		if head%laspCheckEvery == 0 {
@@ -56,46 +75,47 @@ func jointPath(ctx context.Context, g *graph, node1, node2 node, t grammar.Sym) 
 				return nil, nil, nil, false, err
 			}
 		}
+		sc.pathExpanded++
 		cur := order[head]
 		k := cur.key
 		if k.n1 == node1 && k.n2 == node2 &&
-			interner.Get(k.la1).Has(tIdx) && interner.Get(k.la2).Has(tIdx) {
+			interner.Get(int(k.la1)).Has(tIdx) && interner.Get(int(k.la2)).Has(tIdx) {
 			goal = head
 			break
 		}
-		push := func(nk vkey, sym grammar.Sym, side int) {
+		push := func(nk jpKey, sym grammar.Sym, side int8) {
 			if visited[nk] {
 				return
 			}
 			visited[nk] = true
-			order = append(order, entry{key: nk, parent: head, sym: sym, side: side})
+			order = append(order, jpEntry{key: nk, parent: int32(head), sym: sym, side: side})
 		}
 		d1, d2 := g.dotSym(k.n1), g.dotSym(k.n2)
 		// Joint transition: both sides move on the same symbol.
 		if d1 != grammar.NoSym && d1 == d2 {
 			m1, m2 := g.fwdTrans[k.n1], g.fwdTrans[k.n2]
 			if m1 != noNode && m2 != noNode && elig1[m1] && elig2[m2] {
-				push(vkey{m1, m2, k.la1, k.la2}, d1, 0)
+				push(jpKey{m1, m2, k.la1, k.la2}, d1, 0)
 			}
 		}
 		// Production steps on either side.
 		if d1 != grammar.NoSym && !gr.IsTerminal(d1) {
 			it := g.itemOf(k.n1)
-			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(k.la1))
-			fid := interner.Intern(follow)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(int(k.la1)))
+			fid := int32(interner.Intern(follow))
 			for _, m := range g.prodSteps[k.n1] {
 				if elig1[m] {
-					push(vkey{m, k.n2, fid, k.la2}, grammar.NoSym, 1)
+					push(jpKey{m, k.n2, fid, k.la2}, grammar.NoSym, 1)
 				}
 			}
 		}
 		if d2 != grammar.NoSym && !gr.IsTerminal(d2) {
 			it := g.itemOf(k.n2)
-			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(k.la2))
-			fid := interner.Intern(follow)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(int(k.la2)))
+			fid := int32(interner.Intern(follow))
 			for _, m := range g.prodSteps[k.n2] {
 				if elig2[m] {
-					push(vkey{k.n1, m, k.la1, fid}, grammar.NoSym, 2)
+					push(jpKey{k.n1, m, k.la1, fid}, grammar.NoSym, 2)
 				}
 			}
 		}
@@ -105,8 +125,8 @@ func jointPath(ctx context.Context, g *graph, node1, node2 node, t grammar.Sym) 
 	}
 
 	// Replay the chain, tracking each side's suspension stack.
-	var chain []entry
-	for i := goal; i >= 0; i = order[i].parent {
+	var chain []jpEntry
+	for i := goal; i >= 0; i = int(order[i].parent) {
 		chain = append(chain, order[i])
 	}
 	type susp struct{ prod, dot int }

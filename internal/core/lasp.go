@@ -86,13 +86,33 @@ var errUnreachableConflict = errors.New("core: conflict item unreachable on any 
 // cancellation matters.
 const laspCheckEvery = 4096
 
+// laspEntry is one BFS vertex of the shortest lookahead-sensitive path
+// search: a (node, interned-lookahead) pair plus the parent link and edge
+// label needed for reconstruction. The buffer holding these entries lives in
+// the per-worker scratch and is reused across conflicts.
+type laspEntry struct {
+	n      node
+	la     int32 // interned precise-lookahead handle
+	parent int32 // index into the order buffer, -1 for the root
+	sym    grammar.Sym
+}
+
+// laspKey packs a BFS vertex into the uint64 visited-set key. Node ids are
+// int32 and interner handles are dense indices bounded by the number of
+// pushed vertices, so both halves fit exactly — unlike the unifying search's
+// rolling hash, this key cannot collide.
+func laspKey(n node, la int32) uint64 {
+	return uint64(uint32(n))<<32 | uint64(uint32(la))
+}
+
 // shortestLookaheadSensitivePath finds a shortest path in the
 // lookahead-sensitive graph from (start state, start item, {$}) to
 // (conflict state, conflict reduce item, L) with the conflict terminal in L.
 // All edges have unit weight, so breadth-first search finds a shortest path.
 // Only vertices whose node can reach the conflict node are expanded
 // (Section 6's optimization). The BFS polls ctx periodically and returns its
-// error when cancelled; sc provides the reusable reachability buffer.
+// error when cancelled; sc provides the reusable reachability buffer, the
+// visited set, and the order buffer (cleared here, not reallocated).
 func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, conflictNode node, conflictTerm grammar.Sym) (*laspPath, error) {
 	a := g.a
 	gr := a.G
@@ -105,22 +125,22 @@ func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, 
 	eof := grammar.NewTermSet(gr.NumTerminals())
 	eof.Add(gr.TermIndex(grammar.EOF))
 
-	type vkey struct {
-		n  node
-		la int
+	if sc.laspVisited == nil {
+		sc.laspVisited = make(map[uint64]bool, 256)
+	} else {
+		clear(sc.laspVisited)
 	}
-	type entry struct {
-		key    vkey
-		parent int // index into order, -1 for the root
-		sym    grammar.Sym
-	}
+	visited := sc.laspVisited
+	order := sc.laspOrder[:0]
+	defer func() { sc.laspOrder = order[:0] }()
+
 	startNode, ok := g.lookup(0, a.StartItem())
 	if !ok {
 		return nil, errUnreachableConflict
 	}
-	root := vkey{startNode, interner.Intern(eof)}
-	visited := map[vkey]bool{root: true}
-	order := []entry{{key: root, parent: -1, sym: grammar.NoSym}}
+	rootLA := int32(interner.Intern(eof))
+	visited[laspKey(startNode, rootLA)] = true
+	order = append(order, laspEntry{n: startNode, la: rootLA, parent: -1, sym: grammar.NoSym})
 
 	found := -1
 	for head := 0; head < len(order) && found < 0; head++ {
@@ -129,25 +149,26 @@ func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, 
 				return nil, err
 			}
 		}
+		sc.pathExpanded++
 		cur := order[head]
-		n, laID := cur.key.n, cur.key.la
-		la := interner.Get(laID)
+		n, laID := cur.n, cur.la
+		la := interner.Get(int(laID))
 
 		if n == conflictNode && la.Has(tIdx) {
 			found = head
 			break
 		}
 
-		push := func(m node, mla int, sym grammar.Sym) {
+		push := func(m node, mla int32, sym grammar.Sym) {
 			if !eligible[m] {
 				return
 			}
-			k := vkey{m, mla}
+			k := laspKey(m, mla)
 			if visited[k] {
 				return
 			}
 			visited[k] = true
-			order = append(order, entry{key: k, parent: head, sym: sym})
+			order = append(order, laspEntry{n: m, la: mla, parent: int32(head), sym: sym})
 		}
 
 		// Transition edge: preserve the precise lookahead set.
@@ -158,7 +179,7 @@ func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, 
 		if steps := g.prodSteps[n]; len(steps) > 0 {
 			it := g.itemOf(n)
 			follow := gr.FollowL(a.Prod(it), a.Dot(it), la)
-			fid := interner.Intern(follow)
+			fid := int32(interner.Intern(follow))
 			for _, m := range steps {
 				push(m, fid, grammar.NoSym)
 			}
@@ -170,8 +191,8 @@ func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, 
 
 	// Reconstruct.
 	var rev []laspStep
-	for i := found; i >= 0; i = order[i].parent {
-		rev = append(rev, laspStep{Node: order[i].key.n, Sym: order[i].sym, LA: order[i].key.la})
+	for i := found; i >= 0; i = int(order[i].parent) {
+		rev = append(rev, laspStep{Node: order[i].n, Sym: order[i].sym, LA: int(order[i].la)})
 	}
 	p := &laspPath{steps: make([]laspStep, 0, len(rev))}
 	for i := len(rev) - 1; i >= 0; i-- {
@@ -187,7 +208,10 @@ func shortestLookaheadSensitivePath(ctx context.Context, g *graph, sc *scratch, 
 // abstract (Section 3.2: no more concrete than necessary). It returns nil
 // and false if t cannot come first (possible only when t is EOF and the
 // remainders are all nullable, in which case the empty completion is valid).
-func completeStartingWith(gr *grammar.Grammar, remainders [][]grammar.Sym, t grammar.Sym) ([]grammar.Sym, bool) {
+// busy is the recursion guard for expandStartingWith, supplied by the caller
+// (per-worker scratch) so the map is allocated once per worker, not per call;
+// expandStartingWith leaves it empty on every return path.
+func completeStartingWith(gr *grammar.Grammar, remainders [][]grammar.Sym, t grammar.Sym, busy map[grammar.Sym]bool) ([]grammar.Sym, bool) {
 	var out []grammar.Sym
 	need := true
 	for _, rem := range remainders {
@@ -205,7 +229,7 @@ func completeStartingWith(gr *grammar.Grammar, remainders [][]grammar.Sym, t gra
 				break
 			}
 			if gr.First(x).Has(gr.TermIndex(t)) {
-				exp, ok := expandStartingWith(gr, x, t, make(map[grammar.Sym]bool))
+				exp, ok := expandStartingWith(gr, x, t, busy)
 				if !ok {
 					return nil, false
 				}

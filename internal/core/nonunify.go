@@ -20,8 +20,9 @@ type nonunifying struct {
 
 // buildNonunifying constructs a nonunifying counterexample for the conflict
 // from its shortest lookahead-sensitive path. The embedded path searches
-// poll ctx and propagate its error when cancelled.
-func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPath) (*nonunifying, error) {
+// poll ctx and propagate its error when cancelled; sc supplies the reusable
+// visited sets, order buffers, and the expansion recursion guard.
+func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPath, sc *scratch) (*nonunifying, error) {
 	a := g.a
 	gr := a.G
 	item2Node, ok := g.lookup(c.State, c.Item2)
@@ -30,7 +31,7 @@ func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPa
 	}
 
 	if c.Kind == lr.ReduceReduce {
-		return buildNonunifyingRR(ctx, g, c, path, item2Node)
+		return buildNonunifyingRR(ctx, g, c, path, item2Node, sc)
 	}
 
 	out := &nonunifying{prefix: path.transitionSyms()}
@@ -39,7 +40,7 @@ func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPa
 	// continuation derives the pending remainders, starting with the conflict
 	// terminal (Section 4).
 	rem1 := path.pendingRemainders(g)
-	after1, ok := completeStartingWith(gr, rem1, c.Sym)
+	after1, ok := completeStartingWith(gr, rem1, c.Sym, sc.busySet())
 	if !ok {
 		return nil, errors.New("core: cannot complete reduce-side continuation with the conflict terminal")
 	}
@@ -50,7 +51,7 @@ func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPa
 	// supports every item of the state up to lookahead, and a shift item
 	// imposes no lookahead constraint), then continue with the item's
 	// remaining symbols and its pending remainders.
-	rem2, ok, err := otherSidePending(ctx, g, out.prefix, item2Node, c.Sym, false)
+	rem2, ok, err := otherSidePending(ctx, g, sc, out.prefix, item2Node, c.Sym, false)
 	if err != nil {
 		return nil, err
 	}
@@ -68,16 +69,16 @@ func buildNonunifying(ctx context.Context, g *graph, c lr.Conflict, path *laspPa
 // the shared prefix comes from a joint search over both lookahead-sensitive
 // paths. The single-item shortest path is tried first (it usually works and
 // is cheaper); the joint search is the complete fallback.
-func buildNonunifyingRR(ctx context.Context, g *graph, c lr.Conflict, path *laspPath, item2Node node) (*nonunifying, error) {
+func buildNonunifyingRR(ctx context.Context, g *graph, c lr.Conflict, path *laspPath, item2Node node, sc *scratch) (*nonunifying, error) {
 	gr := g.a.G
 	prefix := path.transitionSyms()
-	rem2, ok, err := otherSidePending(ctx, g, prefix, item2Node, c.Sym, true)
+	rem2, ok, err := otherSidePending(ctx, g, sc, prefix, item2Node, c.Sym, true)
 	if err != nil {
 		return nil, err
 	}
 	if ok {
-		after1, ok1 := completeStartingWith(gr, path.pendingRemainders(g), c.Sym)
-		after2, ok2 := completeStartingWith(gr, rem2, c.Sym)
+		after1, ok1 := completeStartingWith(gr, path.pendingRemainders(g), c.Sym, sc.busySet())
+		after2, ok2 := completeStartingWith(gr, rem2, c.Sym, sc.busySet())
 		if ok1 && ok2 {
 			return &nonunifying{prefix: prefix, after1: stripEOF(after1), after2: stripEOF(after2)}, nil
 		}
@@ -87,15 +88,15 @@ func buildNonunifyingRR(ctx context.Context, g *graph, c lr.Conflict, path *lasp
 	if !ok {
 		return nil, errors.New("core: conflict item1 missing from conflict state")
 	}
-	jp, rem1, rem2, ok, err := jointPath(ctx, g, node1, item2Node, c.Sym)
+	jp, rem1, rem2, ok, err := jointPath(ctx, g, sc, node1, item2Node, c.Sym)
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, errors.New("core: no joint lookahead-sensitive path for the reduce/reduce conflict")
 	}
-	after1, ok1 := completeStartingWith(gr, rem1, c.Sym)
-	after2, ok2 := completeStartingWith(gr, rem2, c.Sym)
+	after1, ok1 := completeStartingWith(gr, rem1, c.Sym, sc.busySet())
+	after2, ok2 := completeStartingWith(gr, rem2, c.Sym, sc.busySet())
 	if !ok1 || !ok2 {
 		return nil, errors.New("core: cannot complete reduce/reduce continuations with the conflict terminal")
 	}
@@ -122,6 +123,24 @@ func concat(seqs [][]grammar.Sym) []grammar.Sym {
 	return out
 }
 
+// osKey is a vertex of the other-side replay: a lookahead-sensitive vertex
+// plus the number of prefix symbols already emitted. The lookahead handle and
+// position are dense small indices, so int32 halves the key and lets the
+// visited map hash a 12-byte struct instead of a 24-byte one.
+type osKey struct {
+	n   node
+	la  int32 // interned precise-lookahead handle
+	pos int32 // prefix symbols consumed
+}
+
+// osEntry is one BFS vertex of the other-side replay plus its parent link.
+// The buffer holding these lives in the per-worker scratch.
+type osEntry struct {
+	key      osKey
+	parent   int32
+	prodStep bool // reached from parent by a production step
+}
+
 // otherSidePending finds a derivation of the same transition prefix that
 // ends at the second conflict item (Figure 5(b): since the transition
 // symbols are fixed, the states traversed are identical and only the
@@ -131,7 +150,7 @@ func concat(seqs [][]grammar.Sym) []grammar.Sym {
 // conflict terminal, so the returned remainders can derive it. It returns
 // the pending production remainders of the found derivation, innermost
 // first. The error is non-nil exactly when ctx was cancelled.
-func otherSidePending(ctx context.Context, g *graph, prefix []grammar.Sym, item2Node node, t grammar.Sym, needLA bool) ([][]grammar.Sym, bool, error) {
+func otherSidePending(ctx context.Context, g *graph, sc *scratch, prefix []grammar.Sym, item2Node node, t grammar.Sym, needLA bool) ([][]grammar.Sym, bool, error) {
 	a := g.a
 	gr := a.G
 	tIdx := gr.TermIndex(t)
@@ -140,23 +159,22 @@ func otherSidePending(ctx context.Context, g *graph, prefix []grammar.Sym, item2
 	eof := grammar.NewTermSet(gr.NumTerminals())
 	eof.Add(gr.TermIndex(grammar.EOF))
 
-	type vkey struct {
-		n   node
-		la  int
-		pos int
+	if sc.osVisited == nil {
+		sc.osVisited = make(map[osKey]bool, 256)
+	} else {
+		clear(sc.osVisited)
 	}
-	type entry struct {
-		key      vkey
-		parent   int
-		prodStep bool // reached from parent by a production step
-	}
+	visited := sc.osVisited
+	order := sc.osOrder[:0]
+	defer func() { sc.osOrder = order[:0] }()
+
 	startNode, ok := g.lookup(0, a.StartItem())
 	if !ok {
 		return nil, false, nil
 	}
-	root := vkey{startNode, interner.Intern(eof), 0}
-	visited := map[vkey]bool{root: true}
-	order := []entry{{key: root, parent: -1}}
+	root := osKey{startNode, int32(interner.Intern(eof)), 0}
+	visited[root] = true
+	order = append(order, osEntry{key: root, parent: -1})
 	found := -1
 	for head := 0; head < len(order) && found < 0; head++ {
 		if head%laspCheckEvery == 0 {
@@ -164,31 +182,32 @@ func otherSidePending(ctx context.Context, g *graph, prefix []grammar.Sym, item2
 				return nil, false, err
 			}
 		}
+		sc.pathExpanded++
 		cur := order[head]
 		n, laID, pos := cur.key.n, cur.key.la, cur.key.pos
-		if n == item2Node && pos == len(prefix) {
-			if !needLA || interner.Get(laID).Has(tIdx) {
+		if n == item2Node && int(pos) == len(prefix) {
+			if !needLA || interner.Get(int(laID)).Has(tIdx) {
 				found = head
 				break
 			}
 		}
-		push := func(m node, mla, mpos int, prodStep bool) {
-			k := vkey{m, mla, mpos}
+		push := func(m node, mla, mpos int32, prodStep bool) {
+			k := osKey{m, mla, mpos}
 			if visited[k] {
 				return
 			}
 			visited[k] = true
-			order = append(order, entry{key: k, parent: head, prodStep: prodStep})
+			order = append(order, osEntry{key: k, parent: int32(head), prodStep: prodStep})
 		}
-		if pos < len(prefix) && g.dotSym(n) == prefix[pos] {
+		if int(pos) < len(prefix) && g.dotSym(n) == prefix[pos] {
 			if m := g.fwdTrans[n]; m != noNode {
 				push(m, laID, pos+1, false)
 			}
 		}
 		if steps := g.prodSteps[n]; len(steps) > 0 {
 			it := g.itemOf(n)
-			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(laID))
-			fid := interner.Intern(follow)
+			follow := gr.FollowL(a.Prod(it), a.Dot(it), interner.Get(int(laID)))
+			fid := int32(interner.Intern(follow))
 			for _, m := range steps {
 				push(m, fid, pos, true)
 			}
@@ -202,8 +221,8 @@ func otherSidePending(ctx context.Context, g *graph, prefix []grammar.Sym, item2
 	// item, maintaining the suspension stack exactly as laspPath does: a
 	// production step suspends the current item. What remains suspended at
 	// the end are the pending remainders, returned innermost first.
-	var chain []entry
-	for i := found; i >= 0; i = order[i].parent {
+	var chain []osEntry
+	for i := found; i >= 0; i = int(order[i].parent) {
 		chain = append(chain, order[i])
 	}
 	type susp struct{ prod, dot int }

@@ -1,0 +1,420 @@
+package core
+
+// Persistent item sequences for the unifying search (the zero-copy search
+// core). A side — one of the two simulated parsers of a configuration — used
+// to hold its item sequence and derivation list as plain slices that were
+// deep-copied on every successor. This file replaces them with a persistent
+// deque built from immutable cons cells: the sequence is split into a *front*
+// stack (head = leftmost item, cells run left to right) and a *back* stack
+// (head = rightmost item, cells run right to left), so extending either end
+// is one cell allocation and the entire remainder is shared with the parent
+// configuration. Cells are never mutated after creation; the parallel
+// conflict workers therefore share nothing mutable even though successor
+// configurations alias almost all of their parents' structure.
+//
+// Each item cell additionally carries three incrementally maintained
+// summaries of the stack it heads:
+//
+//   - hash/pow: a polynomial rolling hash of the stack's item sequence
+//     (base hashBase over uint64), oriented so that the hash of the whole
+//     side — front ++ reversed(back) — is front.hash·back.pow + back.hash.
+//     This makes the dedup key of a configuration O(1) instead of the O(n)
+//     byte-string the slice implementation minted on every push.
+//   - filt: a 64-bit occupancy filter (an OR of one hash-derived bit per
+//     item). count(n) first tests the filter — O(1) "definitely absent", the
+//     common case when the occurrence cap is probed — and only walks on a
+//     hit.
+//   - self: the number of occurrences of the cell's own item in the stack it
+//     heads. The topmost cell holding item n therefore knows the stack's
+//     total count for n, so a filter hit resolves at the *first* matching
+//     cell instead of scanning the whole sequence.
+//
+// Derivation lists are threaded the same way (dcell), without the summaries:
+// they never participate in dedup, and they are materialized to slices only
+// when a reduction wraps children into a tree or a search succeeds.
+
+import "unsafe"
+
+// hashBase is the polynomial rolling-hash base (the FNV-1a prime; odd, so
+// multiplication by it is invertible mod 2^64 and prefixes cannot cancel).
+const hashBase uint64 = 1099511628211
+
+// mix64 is the splitmix64 finalizer: a cheap bijective scrambler used to
+// derive per-item hash values and to combine side hashes into dedup keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nodeHash maps a state-item node to its 64-bit hash value.
+func nodeHash(n node) uint64 { return mix64(uint64(uint32(n)) ^ 0x9e3779b97f4a7c15) }
+
+// nodeBit is the node's bit in the 64-bit occupancy filter.
+func nodeBit(n node) uint64 { return 1 << (nodeHash(n) & 63) }
+
+// icell is one immutable cons cell of an item stack.
+type icell struct {
+	next *icell
+	hash uint64 // rolling hash of the stack headed by this cell
+	pow  uint64 // hashBase^len
+	filt uint64 // OR of nodeBit over the stack
+	n    node
+	len  int32 // number of cells in the stack
+	self int32 // occurrences of n in the stack, including this cell
+}
+
+// dcell is one immutable cons cell of a derivation stack.
+type dcell struct {
+	next *dcell
+	d    *Deriv
+	len  int32
+}
+
+// Structure sizes for the search's approximate allocation accounting.
+const (
+	icellSize  = int64(unsafe.Sizeof(icell{}))
+	dcellSize  = int64(unsafe.Sizeof(dcell{}))
+	configSize = int64(unsafe.Sizeof(config{}))
+)
+
+// allocCounter tallies the persistent cells and configurations a search
+// allocates; AllocBytes in SearchStats is derived from it.
+type allocCounter struct {
+	icells  int64
+	dcells  int64
+	configs int64
+}
+
+func (ac *allocCounter) bytes() int64 {
+	return ac.icells*icellSize + ac.dcells*dcellSize + ac.configs*configSize
+}
+
+func itemLen(c *icell) int32 {
+	if c == nil {
+		return 0
+	}
+	return c.len
+}
+
+func itemPow(c *icell) uint64 {
+	if c == nil {
+		return 1
+	}
+	return c.pow
+}
+
+func itemHash(c *icell) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.hash
+}
+
+func itemFilt(c *icell) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.filt
+}
+
+// stackCount returns the number of occurrences of n in the stack headed by c.
+// The occupancy filter prunes the walk: the loop stops at the first cell
+// whose stack provably does not contain n, and a genuine match resolves
+// immediately through the cell's self count.
+func stackCount(c *icell, n node) int32 {
+	bit := nodeBit(n)
+	for c != nil && c.filt&bit != 0 {
+		if c.n == n {
+			return c.self
+		}
+		c = c.next
+	}
+	return 0
+}
+
+// pushFront prepends n to a front stack (head = leftmost item). The sequence
+// hash treats the leftmost item as most significant, so prepending scales the
+// new item by the tail's pow.
+func pushFront(t *icell, n node, mem *searchMem) *icell {
+	mem.ac.icells++
+	c := mem.icells.alloc()
+	*c = icell{
+		next: t,
+		hash: nodeHash(n)*itemPow(t) + itemHash(t),
+		pow:  itemPow(t) * hashBase,
+		filt: itemFilt(t) | nodeBit(n),
+		n:    n,
+		len:  itemLen(t) + 1,
+		self: stackCount(t, n) + 1,
+	}
+	return c
+}
+
+// pushBack appends n to a back stack (head = rightmost item): the tail's hash
+// shifts one position and the new item enters as the least-significant term.
+func pushBack(t *icell, n node, mem *searchMem) *icell {
+	mem.ac.icells++
+	c := mem.icells.alloc()
+	*c = icell{
+		next: t,
+		hash: itemHash(t)*hashBase + nodeHash(n),
+		pow:  itemPow(t) * hashBase,
+		filt: itemFilt(t) | nodeBit(n),
+		n:    n,
+		len:  itemLen(t) + 1,
+		self: stackCount(t, n) + 1,
+	}
+	return c
+}
+
+func derivLen(c *dcell) int32 {
+	if c == nil {
+		return 0
+	}
+	return c.len
+}
+
+func pushDeriv(t *dcell, d *Deriv, mem *searchMem) *dcell {
+	mem.ac.dcells++
+	c := mem.dcells.alloc()
+	*c = dcell{next: t, d: d, len: derivLen(t) + 1}
+	return c
+}
+
+// side is one of the two simulated parsers of a configuration: the item
+// sequence I and the partial derivations D of Figure 8, both persistent.
+// Invariant: back is non-nil whenever the side is non-empty (the initial
+// side seeds back, appends push back, and every reduction rebuilds back with
+// the goto item), so last() is O(1).
+type side struct {
+	front, back   *icell // item sequence: front ++ reversed(back)
+	dfront, dback *dcell // derivation list, threaded the same way
+}
+
+// sideOf returns the initial one-item side of the conflict items.
+func sideOf(n node, mem *searchMem) side {
+	return side{back: pushBack(nil, n, mem)}
+}
+
+func (s side) len() int32 { return itemLen(s.front) + itemLen(s.back) }
+
+func (s side) numDerivs() int32 { return derivLen(s.dfront) + derivLen(s.dback) }
+
+// count returns how many times node n appears in the item sequence (used for
+// the duplicate-production-step penalty and the occurrence cap).
+func (s side) count(n node) int32 { return stackCount(s.front, n) + stackCount(s.back, n) }
+
+// hash is the rolling hash of the item sequence. It depends only on the
+// logical sequence, not on how it is split between the two stacks.
+func (s side) hash() uint64 { return itemHash(s.front)*itemPow(s.back) + itemHash(s.back) }
+
+// first returns the leftmost item.
+func (s side) first() node {
+	if s.front != nil {
+		return s.front.n
+	}
+	c := s.back // non-nil: sides are never empty
+	for c.next != nil {
+		c = c.next
+	}
+	return c.n
+}
+
+// last returns the rightmost item (O(1) by the back invariant).
+func (s side) last() node { return s.back.n }
+
+// secondLast returns the item before the rightmost one. The caller must have
+// checked len() >= 2.
+func (s side) secondLast() node {
+	if s.back.len >= 2 {
+		return s.back.next.n
+	}
+	c := s.front
+	for c.next != nil {
+		c = c.next
+	}
+	return c.n
+}
+
+// itemFromRight returns the item k positions left of the rightmost one
+// (itemFromRight(0) == last()). The caller must have checked len() > k.
+func (s side) itemFromRight(k int32) node {
+	if s.back.len > k {
+		c := s.back
+		for ; k > 0; k-- {
+			c = c.next
+		}
+		return c.n
+	}
+	// Position from the left within the front stack, whose head-to-tail
+	// order is the sequence order.
+	idx := s.len() - 1 - k
+	c := s.front
+	for ; idx > 0; idx-- {
+		c = c.next
+	}
+	return c.n
+}
+
+func (s side) withAppended(n node, d *Deriv, mem *searchMem) side {
+	out := s
+	out.back = pushBack(s.back, n, mem)
+	if d != nil {
+		out.dback = pushDeriv(s.dback, d, mem)
+	}
+	return out
+}
+
+func (s side) withPrepended(n node, d *Deriv, mem *searchMem) side {
+	out := s
+	out.front = pushFront(s.front, n, mem)
+	if d != nil {
+		out.dfront = pushDeriv(s.dfront, d, mem)
+	}
+	return out
+}
+
+// appendItems materializes the item sequence left to right into dst. The
+// front stack is already in sequence order; the back stack is reversed in
+// place after appending.
+func (s side) appendItems(dst []node) []node {
+	for c := s.front; c != nil; c = c.next {
+		dst = append(dst, c.n)
+	}
+	k := len(dst)
+	for c := s.back; c != nil; c = c.next {
+		dst = append(dst, c.n)
+	}
+	for i, j := k, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// appendDerivs materializes the derivation list left to right into dst.
+func (s side) appendDerivs(dst []*Deriv) []*Deriv {
+	for c := s.dfront; c != nil; c = c.next {
+		dst = append(dst, c.d)
+	}
+	k := len(dst)
+	for c := s.dback; c != nil; c = c.next {
+		dst = append(dst, c.d)
+	}
+	for i, j := k, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
+// singleDeriv returns the side's only derivation; the caller must have
+// checked numDerivs() == 1.
+func (s side) singleDeriv() *Deriv {
+	if s.dback != nil {
+		return s.dback.d
+	}
+	return s.dfront.d
+}
+
+// sameItems reports whether two sides hold the same logical item sequence,
+// regardless of how each is split between its stacks. buf is a reusable
+// scratch slice returned to the caller.
+func sameItems(a, b side, buf []node) (bool, []node) {
+	n := a.len()
+	if n != b.len() {
+		return false, buf
+	}
+	buf = a.appendItems(buf[:0])
+	buf = b.appendItems(buf)
+	for i := int32(0); i < n; i++ {
+		if buf[i] != buf[int32(len(buf))-n+i] {
+			return false, buf
+		}
+	}
+	return true, buf
+}
+
+// reduced builds the successor side of a reduction (Figure 10(f)): the last
+// popItems items are replaced by gotoNode, and the last popDerivs derivations
+// are wrapped into tree. The caller must have checked len() > popItems and
+// numDerivs() >= popDerivs; children receives the popped derivations in
+// sequence order (it must have length popDerivs).
+//
+// When the popped region lies entirely within the back stack the result
+// shares every remaining cell with the parent — one cell allocation. When a
+// reduction consumes prepended context items (the stage-completing reductions
+// of Section 5.3) the kept prefix of the front stack is rebuilt, an O(kept)
+// copy that mirrors what the slice implementation paid on every reduction,
+// staged through mem's reusable materialization buffers.
+func (s side) reduced(popItems, popDerivs int32, gotoNode node, tree *Deriv,
+	children []*Deriv, mem *searchMem) side {
+	var out side
+
+	// Item sequence.
+	if itemLen(s.back) > popItems {
+		c := s.back
+		for k := popItems; k > 0; k-- {
+			c = c.next
+		}
+		out.front = s.front
+		out.back = pushBack(c, gotoNode, mem)
+	} else {
+		drop := popItems - itemLen(s.back) // cells to drop from the front's deep end
+		if drop == 0 {
+			out.front = s.front
+		} else {
+			nodeBuf := mem.nodeBuf[:0]
+			for c := s.front; c != nil; c = c.next {
+				nodeBuf = append(nodeBuf, c.n)
+			}
+			mem.nodeBuf = nodeBuf
+			kept := nodeBuf[:int32(len(nodeBuf))-drop]
+			var f *icell
+			for i := len(kept) - 1; i >= 0; i-- {
+				f = pushFront(f, kept[i], mem)
+			}
+			out.front = f
+		}
+		out.back = pushBack(nil, gotoNode, mem)
+	}
+
+	// Derivation list: collect the popped derivations (sequence order) into
+	// children, keep the rest.
+	if derivLen(s.dback) > popDerivs {
+		c := s.dback
+		for k := popDerivs - 1; k >= 0; k-- {
+			children[k] = c.d
+			c = c.next
+		}
+		out.dfront = s.dfront
+		out.dback = pushDeriv(c, tree, mem)
+	} else {
+		fromFront := popDerivs - derivLen(s.dback) // derivations taken from the front's deep end
+		c := s.dback
+		for k := popDerivs - 1; k >= fromFront; k-- {
+			children[k] = c.d
+			c = c.next
+		}
+		if fromFront == 0 {
+			out.dfront = s.dfront
+		} else {
+			derivBuf := mem.derivBuf[:0]
+			for c := s.dfront; c != nil; c = c.next {
+				derivBuf = append(derivBuf, c.d)
+			}
+			mem.derivBuf = derivBuf
+			keep := int32(len(derivBuf)) - fromFront
+			copy(children[:fromFront], derivBuf[keep:])
+			var f *dcell
+			for i := keep - 1; i >= 0; i-- {
+				f = pushDeriv(f, derivBuf[i], mem)
+			}
+			out.dfront = f
+		}
+		out.dback = pushDeriv(nil, tree, mem)
+	}
+	return out
+}

@@ -41,10 +41,19 @@ type graph struct {
 	// state) of items with N after the dot.
 	revProdSteps [][]node
 
+	// leafDerivs interns one immutable leaf derivation per grammar symbol, so
+	// the search's transition steps share leaves instead of allocating one
+	// per edge. Leaves are immutable (Prod == -1, no children), so sharing
+	// them — across configurations and across worker goroutines — is safe.
+	leafDerivs []*Deriv
+
 	// fp is the adjacency fingerprint recorded at construction; see
 	// assertImmutable.
 	fp uint64
 }
+
+// leafOf returns the interned leaf derivation of sym.
+func (g *graph) leafOf(sym grammar.Sym) *Deriv { return g.leafDerivs[sym] }
 
 func newGraph(a *lr.Automaton) *graph {
 	g := &graph{a: a}
@@ -97,6 +106,11 @@ func newGraph(a *lr.Automaton) *graph {
 			}
 		}
 	}
+	g.leafDerivs = make([]*Deriv, gr.NumSymbols())
+	for i := range g.leafDerivs {
+		g.leafDerivs[i] = leaf(grammar.Sym(i))
+	}
+
 	g.fp = g.fingerprint()
 	return g
 }
@@ -183,17 +197,12 @@ func (g *graph) dotSym(n node) grammar.Sym { return g.a.DotSym(g.itemOf(n)) }
 // prevSym returns the symbol before the dot of the node's item.
 func (g *graph) prevSym(n node) grammar.Sym { return g.a.PrevSym(g.itemOf(n)) }
 
-// reverseReachable marks every node from which target is reachable via
+// reverseReachableInto marks every node from which target is reachable via
 // forward transitions and production steps — the optimization of Section 6
 // ("Finding shortest lookahead-sensitive path"): only states that can reach
-// the conflict item need be explored.
-func (g *graph) reverseReachable(target node) []bool {
-	return g.reverseReachableInto(nil, target)
-}
-
-// reverseReachableInto is reverseReachable with a caller-provided buffer
-// (per-worker scratch): when seen has sufficient capacity it is cleared and
-// reused instead of reallocated.
+// the conflict item need be explored. When the caller-provided buffer
+// (per-worker scratch) has sufficient capacity it is cleared and reused
+// instead of reallocated.
 func (g *graph) reverseReachableInto(seen []bool, target node) []bool {
 	if cap(seen) < g.numNodes {
 		seen = make([]bool, g.numNodes)

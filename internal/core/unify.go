@@ -1,8 +1,8 @@
 package core
 
 import (
-	"container/heap"
 	"context"
+	"fmt"
 
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
@@ -71,55 +71,25 @@ func (m CostModel) withDefaults() CostModel {
 	return m
 }
 
-// side is one of the two simulated parsers of a configuration: the item
-// sequence I and the partial derivations D of Figure 8.
-type side struct {
-	items  []node
-	derivs []*Deriv
-}
-
-func (s side) withAppended(n node, d *Deriv) side {
-	out := side{items: make([]node, len(s.items)+1)}
-	copy(out.items, s.items)
-	out.items[len(s.items)] = n
-	if d != nil {
-		out.derivs = make([]*Deriv, len(s.derivs)+1)
-		copy(out.derivs, s.derivs)
-		out.derivs[len(s.derivs)] = d
-	} else {
-		out.derivs = s.derivs
-	}
-	return out
-}
-
-func (s side) withPrepended(n node, d *Deriv) side {
-	out := side{items: make([]node, len(s.items)+1)}
-	out.items[0] = n
-	copy(out.items[1:], s.items)
-	if d != nil {
-		out.derivs = make([]*Deriv, len(s.derivs)+1)
-		out.derivs[0] = d
-		copy(out.derivs[1:], s.derivs)
-	} else {
-		out.derivs = s.derivs
-	}
-	return out
-}
-
-// count returns how many times node n appears in the item sequence (used for
-// the duplicate-production-step penalty and the occurrence cap).
-func (s side) count(n node) int {
-	c := 0
-	for _, m := range s.items {
-		if m == n {
-			c++
+// maxStep is the largest possible cost increment of a single action, which
+// sizes the bucket frontier's ring.
+func (m CostModel) maxStep() int {
+	max := m.Shift
+	for _, v := range [...]int{
+		m.RevShift, m.Reduce,
+		m.ProdStep, m.ProdStep + m.DupProdStep,
+		m.RevProdStep, m.RevProdStep + m.DupProdStep,
+	} {
+		if v > max {
+			max = v
 		}
 	}
-	return c
+	return max
 }
 
 // config is a search state of the outward search (Figure 8): two item
-// sequences with their partial derivations, plus bookkeeping.
+// sequences with their partial derivations (persistent, structure-shared —
+// see pside.go), plus bookkeeping.
 type config struct {
 	s1, s2 side
 	cost   int
@@ -135,38 +105,14 @@ type config struct {
 func (c *config) stage1Done() bool { return c.orig1 < 0 }
 func (c *config) stage2Done() bool { return c.orig2 < 0 }
 
-// key builds the dedup key: the two item sequences plus the stage markers.
-func (c *config) key() string {
-	b := make([]byte, 0, (len(c.s1.items)+len(c.s2.items))*4+6)
-	enc := func(v int32) {
-		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	enc(int32(c.orig1))
-	for _, n := range c.s1.items {
-		enc(int32(n))
-	}
-	enc(-2)
-	enc(int32(c.orig2))
-	for _, n := range c.s2.items {
-		enc(int32(n))
-	}
-	return string(b)
-}
-
-// configHeap is a min-heap on cost.
-type configHeap []*config
-
-func (h configHeap) Len() int           { return len(h) }
-func (h configHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
-func (h configHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *configHeap) Push(x any)        { *h = append(*h, x.(*config)) }
-func (h *configHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return x
+// hashKey combines the dedup key material — the two item-sequence rolling
+// hashes plus the stage markers — into the 64-bit visited-table key. The
+// derivation lists are deliberately excluded, exactly as in the byte-string
+// key this replaces.
+func (c *config) hashKey() uint64 {
+	h := mix64(c.s1.hash() ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (c.s2.hash() * hashBase))
+	return mix64(h ^ uint64(uint32(c.orig1+1)) ^ uint64(uint32(c.orig2+1))<<32)
 }
 
 // unifyResult is a successful unifying counterexample.
@@ -175,6 +121,68 @@ type unifyResult struct {
 	deriv1      *Deriv // derivation using the reduce item
 	deriv2      *Deriv // derivation using the shift (or second reduce) item
 	dot         int    // leaves before the conflict point
+}
+
+// SearchStats aggregates the measurable work of the counterexample searches:
+// the unifying search's frontier traffic and allocation footprint, plus the
+// breadth-first path searches' expansions. Per-conflict values hang off
+// Example.Stats; Finder.Stats() returns the running totals.
+type SearchStats struct {
+	// Expanded is the number of configurations popped and expanded by the
+	// unifying search.
+	Expanded int64
+	// Pushed is the number of configurations that entered the frontier
+	// (successors that survived dedup).
+	Pushed int64
+	// DedupHits counts successors dropped because a structurally equal
+	// configuration had already been visited.
+	DedupHits int64
+	// PeakFrontier is the high-water mark of the frontier size (max across
+	// conflicts in Finder totals).
+	PeakFrontier int64
+	// AllocBytes approximates the bytes of persistent search structure
+	// allocated: cons cells (items + derivations) and configurations. It
+	// deliberately counts only search-owned allocations, so it is comparable
+	// across runs regardless of GC or concurrency.
+	AllocBytes int64
+	// PathExpanded is the number of vertices expanded by the
+	// lookahead-sensitive path searches (shortest path, other-side replay,
+	// and the joint reduce/reduce search).
+	PathExpanded int64
+}
+
+// String formats the stats as a one-line summary, e.g.
+//
+//	expanded 1204, pushed 2307, dedup hits 312, peak frontier 97, path expanded 58, 216.4 KiB search memory
+func (s SearchStats) String() string {
+	return fmt.Sprintf("expanded %d, pushed %d, dedup hits %d, peak frontier %d, path expanded %d, %s search memory",
+		s.Expanded, s.Pushed, s.DedupHits, s.PeakFrontier, s.PathExpanded, formatBytes(s.AllocBytes))
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Add accumulates o into s, taking the max for PeakFrontier.
+func (s *SearchStats) Add(o SearchStats) {
+	s.Expanded += o.Expanded
+	s.Pushed += o.Pushed
+	s.DedupHits += o.DedupHits
+	if o.PeakFrontier > s.PeakFrontier {
+		s.PeakFrontier = o.PeakFrontier
+	}
+	s.AllocBytes += o.AllocBytes
+	s.PathExpanded += o.PathExpanded
 }
 
 // unifySearch runs the outward search from the conflict state (Section 5.2).
@@ -190,11 +198,13 @@ type unifySearch struct {
 
 	maxConfigs int
 
-	heap    configHeap
-	visited map[string]bool
+	mem      *searchMem
+	frontier frontier
 
 	// stats
-	Expanded int
+	Expanded  int
+	Pushed    int
+	DedupHits int
 	// Cancelled is set when the context passed to run was done (per-conflict
 	// deadline or caller cancellation — the caller distinguishes the two by
 	// inspecting its parent context).
@@ -202,23 +212,52 @@ type unifySearch struct {
 	Capped    bool
 }
 
-func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, maxConfigs int) *unifySearch {
-	return &unifySearch{
+// newUnifySearch prepares a search over mem, which is reset here and must
+// not be shared with a concurrently running search. fifo selects the
+// bucket-queue frontier; the default is the heap replica (see frontier.go
+// for the tie-break consequences).
+func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, maxConfigs int, mem *searchMem, fifo bool) *unifySearch {
+	mem.resetSearch(costs.maxStep(), fifo)
+	u := &unifySearch{
 		g: g, costs: costs, c: c,
 		tIdx:         g.a.G.TermIndex(c.Sym),
 		allowedState: allowedState,
 		maxConfigs:   maxConfigs,
-		visited:      make(map[string]bool),
+		mem:          mem,
+	}
+	if fifo {
+		u.frontier = &mem.buckets
+	} else {
+		u.frontier = &mem.heap
+	}
+	return u
+}
+
+// stats snapshots the search's contribution to SearchStats.
+func (u *unifySearch) stats() SearchStats {
+	return SearchStats{
+		Expanded:     int64(u.Expanded),
+		Pushed:       int64(u.Pushed),
+		DedupHits:    int64(u.DedupHits),
+		PeakFrontier: int64(u.frontier.peakSize()),
+		AllocBytes:   u.mem.ac.bytes(),
 	}
 }
 
-func (u *unifySearch) push(c *config) {
-	k := c.key()
-	if u.visited[k] {
+// push dedups c and, when it is new, moves it into the config arena and onto
+// the frontier. Deduplicated configurations never touch the arena.
+func (u *unifySearch) push(c config) {
+	u.mem.ac.configs++
+	h := c.hashKey()
+	if u.mem.visited.lookup(h, &c) {
+		u.DedupHits++
 		return
 	}
-	u.visited[k] = true
-	heap.Push(&u.heap, c)
+	p := u.mem.configs.alloc()
+	*p = c
+	u.mem.visited.record(h, p)
+	u.frontier.push(p)
+	u.Pushed++
 }
 
 // run returns a unifying counterexample, or nil when the search space is
@@ -234,14 +273,14 @@ func (u *unifySearch) run(ctx context.Context) *unifyResult {
 	if !ok1 || !ok2 {
 		return nil
 	}
-	u.push(&config{
-		s1:    side{items: []node{n1}},
-		s2:    side{items: []node{n2}},
+	u.push(config{
+		s1:    sideOf(n1, u.mem),
+		s2:    sideOf(n2, u.mem),
 		orig1: 0, orig2: 0,
 	})
 
 	const checkEvery = 256
-	for u.heap.Len() > 0 {
+	for u.frontier.size() > 0 {
 		if u.Expanded%checkEvery == 0 && ctx.Err() != nil {
 			u.Cancelled = true
 			return nil
@@ -253,9 +292,13 @@ func (u *unifySearch) run(ctx context.Context) *unifyResult {
 			u.Capped = true
 			return nil
 		}
-		c := heap.Pop(&u.heap).(*config)
+		c := u.frontier.pop()
 		u.Expanded++
 		if res := u.success(c); res != nil {
+			// The winning derivations live in the search arena; deep-copy
+			// them so the arena can be recycled for the next conflict.
+			res.deriv1 = cloneDeriv(res.deriv1)
+			res.deriv2 = cloneDeriv(res.deriv2)
 			return res
 		}
 		u.expand(c)
@@ -273,19 +316,18 @@ func (u *unifySearch) success(c *config) *unifyResult {
 	if !c.stage1Done() || !c.stage2Done() {
 		return nil
 	}
-	if len(c.s1.items) < 2 || len(c.s2.items) < 2 ||
-		len(c.s1.derivs) != 1 || len(c.s2.derivs) != 1 {
+	if c.s1.len() < 2 || c.s2.len() < 2 ||
+		c.s1.numDerivs() != 1 || c.s2.numDerivs() != 1 {
 		return nil
 	}
-	d1, d2 := c.s1.derivs[0], c.s2.derivs[0]
+	d1, d2 := c.s1.singleDeriv(), c.s2.singleDeriv()
 	if d1.Sym != d2.Sym || d1.Prod < 0 || d2.Prod < 0 || d1.Equal(d2) {
 		return nil
 	}
 	// Both tails must bracket exactly A: the second-to-last item has • A and
 	// the last item is its successor.
-	for _, s := range []side{c.s1, c.s2} {
-		n := len(s.items)
-		prev, last := s.items[n-2], s.items[n-1]
+	for _, s := range [...]side{c.s1, c.s2} {
+		prev, last := s.secondLast(), s.last()
 		if u.g.dotSym(prev) != d1.Sym || u.g.fwdTrans[prev] != last {
 			return nil
 		}
@@ -298,9 +340,10 @@ func (u *unifySearch) expand(c *config) {
 	g := u.g
 	a := g.a
 	gr := a.G
+	maxOcc := int32(u.costs.MaxItemOccurrences)
 
-	last1 := c.s1.items[len(c.s1.items)-1]
-	last2 := c.s2.items[len(c.s2.items)-1]
+	last1 := c.s1.last()
+	last2 := c.s2.last()
 	d1, d2 := g.dotSym(last1), g.dotSym(last2)
 
 	// Forward transition (Figure 10(a)): both last items move on Z; the
@@ -308,11 +351,10 @@ func (u *unifySearch) expand(c *config) {
 	if d1 != grammar.NoSym && d1 == d2 {
 		m1, m2 := g.fwdTrans[last1], g.fwdTrans[last2]
 		if m1 != noNode && m2 != noNode &&
-			c.s1.count(m1) < u.costs.MaxItemOccurrences &&
-			c.s2.count(m2) < u.costs.MaxItemOccurrences {
-			u.push(&config{
-				s1:   c.s1.withAppended(m1, leaf(d1)),
-				s2:   c.s2.withAppended(m2, leaf(d1)),
+			c.s1.count(m1) < maxOcc && c.s2.count(m2) < maxOcc {
+			u.push(config{
+				s1:   c.s1.withAppended(m1, g.leafOf(d1), u.mem),
+				s2:   c.s2.withAppended(m2, g.leafOf(d1), u.mem),
 				cost: c.cost + u.costs.Shift, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: c.orig2,
 			})
@@ -330,15 +372,15 @@ func (u *unifySearch) expand(c *config) {
 	if !aligned && d1 != grammar.NoSym && !gr.IsTerminal(d1) {
 		for _, m := range g.prodSteps[last1] {
 			occ := c.s1.count(m)
-			if occ >= u.costs.MaxItemOccurrences {
+			if occ >= maxOcc {
 				continue
 			}
 			cost := c.cost + u.costs.ProdStep
 			if occ > 0 {
 				cost += u.costs.DupProdStep
 			}
-			u.push(&config{
-				s1: c.s1.withAppended(m, nil), s2: c.s2,
+			u.push(config{
+				s1: c.s1.withAppended(m, nil, u.mem), s2: c.s2,
 				cost: cost, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: c.orig2,
 			})
@@ -347,15 +389,15 @@ func (u *unifySearch) expand(c *config) {
 	if !aligned && d2 != grammar.NoSym && !gr.IsTerminal(d2) {
 		for _, m := range g.prodSteps[last2] {
 			occ := c.s2.count(m)
-			if occ >= u.costs.MaxItemOccurrences {
+			if occ >= maxOcc {
 				continue
 			}
 			cost := c.cost + u.costs.ProdStep
 			if occ > 0 {
 				cost += u.costs.DupProdStep
 			}
-			u.push(&config{
-				s1: c.s1, s2: c.s2.withAppended(m, nil),
+			u.push(config{
+				s1: c.s1, s2: c.s2.withAppended(m, nil, u.mem),
 				cost: cost, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: c.orig2,
 			})
@@ -386,14 +428,14 @@ func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
 		s, o = c.s2, c.s1
 		orig, origOther = c.orig2, c.orig1
 	}
-	last := s.items[len(s.items)-1]
+	last := s.last()
 	it := g.itemOf(last)
 	if a.DotSym(it) != grammar.NoSym {
 		return false
 	}
 	pid := a.Prod(it)
-	l := len(gr.Production(pid).RHS)
-	m := len(s.items)
+	l := int32(len(gr.Production(pid).RHS))
+	m := s.len()
 	if m < l+2 {
 		return true // not enough items: needs preparation
 	}
@@ -402,7 +444,7 @@ func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
 	// side's last item being at a terminal, the reduction must tolerate it.
 	// (The conflict items' own reductions satisfy this by the definition of
 	// the conflict.)
-	otherLast := o.items[len(o.items)-1]
+	otherLast := o.last()
 	if next := g.dotSym(otherLast); next != grammar.NoSym && gr.IsTerminal(next) {
 		la := g.lookaheadOf(last)
 		if !la.Has(gr.TermIndex(next)) {
@@ -410,31 +452,27 @@ func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
 		}
 	}
 
-	before := s.items[m-l-2] // the item with • before the reduced nonterminal
+	before := s.itemFromRight(l + 1) // the item with • before the reduced nonterminal
 	gotoNode := g.fwdTrans[before]
 	if gotoNode == noNode {
 		return false
 	}
 
-	// Wrap the last l derivations into one tree for the nonterminal.
-	nd := len(s.derivs)
-	if nd < l {
+	// Wrap the last l derivations into one tree for the nonterminal;
+	// side.reduced fills children with the popped derivations.
+	if s.numDerivs() < l {
 		return false // defensive; structurally unreachable
 	}
-	children := make([]*Deriv, l)
-	copy(children, s.derivs[nd-l:])
-	tree := &Deriv{Sym: gr.Production(pid).LHS, Prod: pid, Children: children}
+	children := u.mem.children.alloc(int(l))
+	tree := u.mem.newDeriv(Deriv{Sym: gr.Production(pid).LHS, Prod: pid, Children: children})
+	ns := s.reduced(l+1, l, gotoNode, tree, children, u.mem)
 
-	ns := side{
-		items:  append(append([]node{}, s.items[:m-l-1]...), gotoNode),
-		derivs: append(append([]*Deriv{}, s.derivs[:nd-l]...), tree),
-	}
 	newOrig := orig
-	if orig >= m-l-1 {
+	if int32(orig) >= m-l-1 {
 		newOrig = -1 // the reduction consumed the original conflict item
 	}
 
-	nc := &config{cost: c.cost + u.costs.Reduce, revTrans: c.revTrans}
+	nc := config{cost: c.cost + u.costs.Reduce, revTrans: c.revTrans}
 	if which == 1 {
 		nc.s1, nc.s2 = ns, o
 		nc.orig1, nc.orig2 = newOrig, origOther
@@ -453,8 +491,9 @@ func (u *unifySearch) prepare(c *config) {
 	g := u.g
 	a := g.a
 	gr := a.G
+	maxOcc := int32(u.costs.MaxItemOccurrences)
 
-	head1, head2 := c.s1.items[0], c.s2.items[0]
+	head1, head2 := c.s1.first(), c.s2.first()
 	dot1 := a.Dot(g.itemOf(head1))
 	dot2 := a.Dot(g.itemOf(head2))
 
@@ -473,19 +512,19 @@ func (u *unifySearch) prepare(c *config) {
 			if !c.stage1Done() && !g.lookaheadOf(m1).Has(u.tIdx) {
 				continue
 			}
-			if c.s1.count(m1) >= u.costs.MaxItemOccurrences {
+			if c.s1.count(m1) >= maxOcc {
 				continue
 			}
 			for _, m2 := range g.revTrans[head2] {
 				if g.stateOf(m2) != st {
 					continue
 				}
-				if c.s2.count(m2) >= u.costs.MaxItemOccurrences {
+				if c.s2.count(m2) >= maxOcc {
 					continue
 				}
-				u.push(&config{
-					s1:   c.s1.withPrepended(m1, leaf(z)),
-					s2:   c.s2.withPrepended(m2, leaf(z)),
+				u.push(config{
+					s1:   c.s1.withPrepended(m1, g.leafOf(z), u.mem),
+					s2:   c.s2.withPrepended(m2, g.leafOf(z), u.mem),
 					cost: c.cost + u.costs.RevShift, revTrans: c.revTrans + 1,
 					orig1: bump(c.orig1), orig2: bump(c.orig2),
 				})
@@ -507,15 +546,15 @@ func (u *unifySearch) prepare(c *config) {
 				}
 			}
 			occ := c.s1.count(m)
-			if occ >= u.costs.MaxItemOccurrences {
+			if occ >= maxOcc {
 				continue
 			}
 			cost := c.cost + u.costs.RevProdStep
 			if occ > 0 {
 				cost += u.costs.DupProdStep
 			}
-			u.push(&config{
-				s1: c.s1.withPrepended(m, nil), s2: c.s2,
+			u.push(config{
+				s1: c.s1.withPrepended(m, nil, u.mem), s2: c.s2,
 				cost: cost, revTrans: c.revTrans,
 				orig1: bump(c.orig1), orig2: c.orig2,
 			})
@@ -525,15 +564,15 @@ func (u *unifySearch) prepare(c *config) {
 		// Reverse production step on the second parser (Figure 10(e)).
 		for _, m := range g.revProdSteps[head2] {
 			occ := c.s2.count(m)
-			if occ >= u.costs.MaxItemOccurrences {
+			if occ >= maxOcc {
 				continue
 			}
 			cost := c.cost + u.costs.RevProdStep
 			if occ > 0 {
 				cost += u.costs.DupProdStep
 			}
-			u.push(&config{
-				s1: c.s1, s2: c.s2.withPrepended(m, nil),
+			u.push(config{
+				s1: c.s1, s2: c.s2.withPrepended(m, nil, u.mem),
 				cost: cost, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: bump(c.orig2),
 			})

@@ -54,6 +54,11 @@ type Row struct {
 	BaselineDone    bool
 	BaselineCorrect bool
 
+	// Stats aggregates the per-conflict search statistics (sums; PeakFrontier
+	// is the max over conflicts) — frontier traffic, dedup hits, allocation
+	// footprint of the zero-copy search core.
+	Stats core.SearchStats
+
 	Examples []*core.Example
 	Err      error
 }
@@ -98,6 +103,7 @@ func Measure(e *corpus.Entry, opts Options) Row {
 		return row
 	}
 	row.Examples = exs
+	row.Stats = finder.Stats()
 	for _, ex := range exs {
 		switch ex.Kind {
 		case core.Unifying:

@@ -1,0 +1,50 @@
+// Package profiling wires the standard runtime/pprof profilers into the
+// command-line tools (cexgen, cexeval): a CPU profile spanning the run and a
+// heap profile snapshot at exit, both written to files for `go tool pprof`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (when nonempty) and returns a stop
+// function that ends the CPU profile and writes a heap profile to memFile
+// (when nonempty). Either path may be empty; Start("", "") returns a no-op
+// stop. The stop function must run before the process exits — defer it in
+// main, and note that os.Exit skips deferred calls, so error paths that exit
+// early produce no profile (the profiles of a failed run would not be
+// meaningful anyway).
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			cpuOut.Close()
+		}
+		if memFile != "" {
+			out, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer out.Close()
+			runtime.GC() // settle the live heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -56,6 +56,11 @@ type (
 	Options = core.Options
 	// CostModel weighs the product-parser search actions.
 	CostModel = core.CostModel
+	// SearchStats aggregates the measurable work of the counterexample
+	// searches (frontier traffic, dedup hits, allocation footprint). Each
+	// Example carries its conflict's stats; Result.SearchStats returns the
+	// running totals.
+	SearchStats = core.SearchStats
 )
 
 // Counterexample outcome kinds (see core.ExampleKind).
@@ -124,3 +129,8 @@ func (r *Result) FindAll() ([]*Example, error) { return r.finder.FindAll() }
 func (r *Result) FindAllContext(ctx context.Context) ([]*Example, error) {
 	return r.finder.FindAllContext(ctx)
 }
+
+// SearchStats returns the running totals of search work across every conflict
+// this Result has processed (sums, except PeakFrontier which is the max over
+// conflicts). Safe for concurrent use.
+func (r *Result) SearchStats() SearchStats { return r.finder.Stats() }

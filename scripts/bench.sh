@@ -1,0 +1,68 @@
+#!/bin/sh
+# bench.sh — run the Table-1 corpus benchmarks and emit BENCH_unify.json,
+# the machine-readable record of the search core's performance (ns/op, B/op,
+# allocs/op per grammar). EXPERIMENTS.md quotes the before/after numbers.
+#
+# Usage: scripts/bench.sh [pattern] [count] [benchtime]
+#
+#   pattern    -bench regex        (default: the Table-1 + allocation benches)
+#   count      -count              (default: 5, for run-to-run variance)
+#   benchtime  -benchtime          (default: go test's 1s per benchmark)
+#
+# Examples:
+#   scripts/bench.sh                          # full 5-count run (slow)
+#   scripts/bench.sh 'UnifyAllocs' 5          # allocation profile only
+#   scripts/bench.sh '' 1 1x                  # one quick pass over everything
+set -eu
+cd "$(dirname "$0")/.."
+
+PATTERN="${1:-Table1$|Table1Parallel$|UnifyAllocs$|Figure9Challenging$}"
+COUNT="${2:-5}"
+BENCHTIME="${3:-}"
+OUT="BENCH_unify.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+BTFLAG=""
+[ -n "$BENCHTIME" ] && BTFLAG="-benchtime=$BENCHTIME"
+
+echo "== go test -bench '$PATTERN' -benchmem -count $COUNT $BTFLAG ==" >&2
+# shellcheck disable=SC2086  # BTFLAG is intentionally word-split
+go test -run '^$' -bench "$PATTERN" -benchmem -count "$COUNT" $BTFLAG -timeout 0 . \
+	| tee /dev/stderr > "$RAW"
+
+# Benchmark lines look like:
+#   BenchmarkTable1/figure1-8   100   123456 ns/op   7890 B/op   12 allocs/op
+# Fold repeated -count lines into one entry per benchmark with min/mean over
+# the runs (min is the conventional headline; mean shows the variance).
+awk -v count="$COUNT" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    ns = b = a = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      b  = $(i-1)
+        if ($i == "allocs/op") a  = $(i-1)
+    }
+    if (ns == "") next
+    runs[name]++
+    ns_sum[name] += ns; b_sum[name] += b; a_sum[name] += a
+    if (!(name in ns_min) || ns+0 < ns_min[name]+0) ns_min[name] = ns
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+END {
+    printf "{\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        r = runs[name]
+        printf "    \"%s\": {\"runs\": %d, \"ns_op_min\": %.0f, \"ns_op_mean\": %.0f, \"b_op\": %.0f, \"allocs_op\": %.1f}%s\n", \
+            name, r, ns_min[name], ns_sum[name]/r, b_sum[name]/r, a_sum[name]/r, (i < n ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"runs"' "$OUT") benchmarks)" >&2
