@@ -1,0 +1,102 @@
+// Command cexd serves counterexample analyses over HTTP: POST /v1/analyze
+// takes GDL source plus search options and returns conflicts, counterexample
+// derivations, and search statistics as JSON. The daemon fronts the search
+// with a content-addressed LRU result cache, collapses identical in-flight
+// requests, and sheds load (429 + Retry-After) when its bounded queue fills.
+// GET /healthz reports liveness; GET /metrics exposes Prometheus text.
+//
+// Usage:
+//
+//	cexd -addr :8372 -workers 8 -queue 64 -cache 256
+//
+// SIGINT/SIGTERM drain in-flight analyses before exiting (bounded by
+// -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lrcex/internal/gdl"
+	"lrcex/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8372", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "queued jobs before shedding 429s (0 = default 64)")
+		cache        = flag.Int("cache", 0, "LRU result cache entries (0 = default 256, negative disables)")
+		maxSource    = flag.Int("max-source-bytes", 0, "largest accepted grammar source (0 = default 1 MiB)")
+		maxProds     = flag.Int("max-productions", 0, "most productions per grammar (0 = default 20000)")
+		maxSyms      = flag.Int("max-symbols", 0, "most distinct symbols per grammar (0 = default 10000)")
+		deadline     = flag.Duration("deadline", 0, "default per-request deadline (0 = 30s)")
+		maxDeadline  = flag.Duration("max-deadline", 0, "largest deadline a request may ask for (0 = 2m)")
+		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint on 429/503 (0 = 1s)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight analyses")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "cexd: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "cexd: ", log.LstdFlags|log.Lmicroseconds)
+
+	s := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		Limits: gdl.Limits{
+			MaxSourceBytes: *maxSource,
+			MaxProductions: *maxProds,
+			MaxSymbols:     *maxSyms,
+		},
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		RetryAfter:      *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	logger.Printf("listening on http://%s (POST /v1/analyze, GET /healthz, GET /metrics)", ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %v; draining (up to %v)", sig, *drainTimeout)
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting new connections first, then drain the analysis pool.
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+		os.Exit(1)
+	}
+	logger.Printf("drained; bye")
+}

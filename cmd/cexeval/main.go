@@ -25,6 +25,7 @@ import (
 
 	"lrcex"
 	"lrcex/internal/baseline"
+	"lrcex/internal/cliflags"
 	"lrcex/internal/core"
 	"lrcex/internal/corpus"
 	"lrcex/internal/eval"
@@ -46,16 +47,16 @@ func main() {
 		effectiveness = flag.Bool("effectiveness", false, "Section 7.2 summary")
 		efficiency    = flag.Bool("efficiency", false, "Section 7.3 comparison")
 		scalability   = flag.Bool("scalability", false, "Section 7.4 summary")
-		timeout       = flag.Duration("timeout", 5*time.Second, "per-conflict time limit (negative = no limit)")
-		cumulative    = flag.Duration("cumulative", 2*time.Minute, "cumulative per-grammar limit (negative = no limit)")
-		parallelism   = flag.Int("j", 0, "conflicts searched in parallel per grammar (0 = GOMAXPROCS)")
 		speedup       = flag.Bool("speedup", false, "measure FindAll wall-clock at 1/2/4/8 workers")
-		stats         = flag.Bool("stats", false, "print per-grammar search statistics (expansions, dedup hits, memory)")
 		cpuprofile    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
+	// The search-tuning surface (-timeout, -cumulative, -notimeout, -j,
+	// -extendedsearch, -maxconfigs, -fifofrontier, -stats) is shared with
+	// cexgen via internal/cliflags so the two tools stay uniform.
+	search := cliflags.RegisterSearch(flag.CommandLine)
 	flag.Parse()
-	showStats = *stats
+	showStats = search.Stats
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -65,11 +66,7 @@ func main() {
 	defer stopProf()
 
 	opts := eval.Options{
-		Finder: core.Options{
-			PerConflictTimeout: *timeout,
-			CumulativeTimeout:  *cumulative,
-			Parallelism:        *parallelism,
-		},
+		Finder:       search.FinderOptions(),
 		Baseline:     *withBaseline,
 		BaselineOpts: baseline.AmberOptions{MaxLen: 10, Timeout: 30 * time.Second},
 	}

@@ -15,25 +15,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"lrcex"
+	"lrcex/internal/cliflags"
 	"lrcex/internal/corpus"
 	"lrcex/internal/profiling"
 )
 
 func main() {
 	var (
-		corpusName  = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
-		timeout     = flag.Duration("timeout", 5*time.Second, "per-conflict time limit for the unifying search (negative = no limit)")
-		cumulative  = flag.Duration("cumulative", 2*time.Minute, "cumulative time limit across all conflicts (negative = no limit)")
-		extended    = flag.Bool("extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
-		quiet       = flag.Bool("q", false, "print one summary line per conflict instead of full reports")
-		parallelism = flag.Int("j", 0, "conflicts searched in parallel (0 = GOMAXPROCS, 1 = sequential)")
-		stats       = flag.Bool("stats", false, "print search statistics (expansions, dedup hits, memory) after the reports")
-		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		corpusName = flag.String("corpus", "", "analyze a built-in corpus grammar instead of a file")
+		quiet      = flag.Bool("q", false, "print one summary line per conflict instead of full reports")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
+	// The search-tuning surface (-timeout, -cumulative, -notimeout, -j,
+	// -extendedsearch, -maxconfigs, -fifofrontier, -stats) is shared with
+	// cexeval via internal/cliflags so the two tools stay uniform.
+	search := cliflags.RegisterSearch(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -54,12 +53,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cexgen:", err)
 		os.Exit(1)
 	}
-	res := lrcex.AnalyzeWithOptions(g, lrcex.Options{
-		PerConflictTimeout: *timeout,
-		CumulativeTimeout:  *cumulative,
-		ExtendedSearch:     *extended,
-		Parallelism:        *parallelism,
-	})
+	res := lrcex.AnalyzeWithOptions(g, search.FinderOptions())
 
 	// Counterexamples assume a reduced grammar: warn like yacc/CUP when
 	// nonterminals are unproductive or unreachable.
@@ -102,7 +96,7 @@ func main() {
 		fmt.Println()
 		fmt.Print(ex.Report(res.Automaton))
 	}
-	if *stats {
+	if search.Stats {
 		fmt.Printf("\nsearch stats: %s\n", res.SearchStats())
 	}
 }

@@ -1,0 +1,76 @@
+// Package cliflags is the single definition of the search-tuning flag
+// surface shared by cmd/cexgen and cmd/cexeval. Both binaries register the
+// same names with the same defaults and the same mapping onto core.Options,
+// and the parity test in this package keeps the CLI surface aligned with the
+// service's AnalyzeOptions — one tuning vocabulary everywhere: flag
+// -timeout ↔ JSON per_conflict_timeout_ms, -notimeout ↔ no_timeout, and so
+// on.
+package cliflags
+
+import (
+	"flag"
+	"time"
+
+	"lrcex/internal/core"
+)
+
+// Search holds the parsed values of the shared search flags. Fields mirror
+// core.Options except that NoTimeout is a bool here (the ergonomic CLI
+// spelling) and Stats is a reporting toggle the commands handle themselves.
+type Search struct {
+	// Timeout is the per-conflict limit for the unifying search
+	// (-timeout; negative = no limit, like the paper's implementation).
+	Timeout time.Duration
+	// Cumulative is the total limit across all conflicts (-cumulative;
+	// negative = no limit).
+	Cumulative time.Duration
+	// NoTimeout disables both wall-clock limits (-notimeout). Pair with
+	// MaxConfigs for a deterministic budget.
+	NoTimeout bool
+	// Parallelism is the conflicts searched concurrently (-j; 0 =
+	// GOMAXPROCS, 1 = sequential).
+	Parallelism int
+	// ExtendedSearch lifts the shortest-path restriction (-extendedsearch).
+	ExtendedSearch bool
+	// MaxConfigs bounds configurations expanded per conflict (-maxconfigs;
+	// 0 = unlimited). Deterministic, unlike the wall-clock limits.
+	MaxConfigs int
+	// FIFOFrontier selects the bucket-queue frontier (-fifofrontier).
+	FIFOFrontier bool
+	// Stats asks the command to print search statistics (-stats).
+	Stats bool
+}
+
+// RegisterSearch registers the shared search flags on fs and returns the
+// struct their values land in. Call before fs.Parse.
+func RegisterSearch(fs *flag.FlagSet) *Search {
+	s := &Search{}
+	fs.DurationVar(&s.Timeout, "timeout", 5*time.Second, "per-conflict time limit for the unifying search (negative = no limit)")
+	fs.DurationVar(&s.Cumulative, "cumulative", 2*time.Minute, "cumulative time limit across all conflicts (negative = no limit)")
+	fs.BoolVar(&s.NoTimeout, "notimeout", false, "disable both time limits (pair with -maxconfigs for a deterministic budget)")
+	fs.IntVar(&s.Parallelism, "j", 0, "conflicts searched in parallel (0 = GOMAXPROCS, 1 = sequential)")
+	fs.BoolVar(&s.ExtendedSearch, "extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
+	fs.IntVar(&s.MaxConfigs, "maxconfigs", 0, "configurations expanded per conflict before giving up (0 = unlimited)")
+	fs.BoolVar(&s.FIFOFrontier, "fifofrontier", false, "use the bucket-queue frontier (equal-cost ties pop FIFO)")
+	fs.BoolVar(&s.Stats, "stats", false, "print search statistics (expansions, dedup hits, memory)")
+	return s
+}
+
+// FinderOptions maps the parsed flags onto core.Options. -notimeout wins
+// over explicit -timeout/-cumulative values: both limits become
+// core.NoTimeout.
+func (s *Search) FinderOptions() core.Options {
+	o := core.Options{
+		PerConflictTimeout: s.Timeout,
+		CumulativeTimeout:  s.Cumulative,
+		Parallelism:        s.Parallelism,
+		ExtendedSearch:     s.ExtendedSearch,
+		MaxConfigs:         s.MaxConfigs,
+		FIFOFrontier:       s.FIFOFrontier,
+	}
+	if s.NoTimeout {
+		o.PerConflictTimeout = core.NoTimeout
+		o.CumulativeTimeout = core.NoTimeout
+	}
+	return o
+}

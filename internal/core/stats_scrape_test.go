@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lrcex/internal/core"
+	"lrcex/internal/lr"
+)
+
+// TestStatsScrapeDuringSearch pins the contract the analysis service's
+// /metrics endpoint relies on: Finder.Stats() may be called from any
+// goroutine while FindAll is running. Under `go test -race` this fails
+// loudly if the snapshot ever reads the accumulating totals unlocked; the
+// assertions additionally check that every mid-flight snapshot is coherent
+// (monotone counters, never exceeding the final totals).
+func TestStatsScrapeDuringSearch(t *testing.T) {
+	_, tbl := build(t, "figure1")
+	f := core.NewFinder(tbl, core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         50000,
+		Parallelism:        2,
+	})
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	snaps := make([][]core.SearchStats, 4)
+	for i := range snaps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for !done.Load() {
+				snaps[i] = append(snaps[i], f.Stats())
+			}
+		}(i)
+	}
+
+	exs, err := f.FindAll()
+	done.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exs) == 0 {
+		t.Fatal("no conflicts searched; scrape test needs a conflicted grammar")
+	}
+
+	final := f.Stats()
+	if final.Expanded == 0 {
+		t.Fatal("final stats empty: nothing was searched")
+	}
+	for i, ss := range snaps {
+		var prev core.SearchStats
+		for j, s := range ss {
+			if s.Expanded < prev.Expanded || s.Pushed < prev.Pushed ||
+				s.DedupHits < prev.DedupHits || s.PathExpanded < prev.PathExpanded ||
+				s.AllocBytes < prev.AllocBytes {
+				t.Fatalf("scraper %d snapshot %d went backwards: %+v after %+v", i, j, s, prev)
+			}
+			prev = s
+		}
+		if len(ss) > 0 {
+			last := ss[len(ss)-1]
+			if last.Expanded > final.Expanded || last.Pushed > final.Pushed {
+				t.Fatalf("scraper %d overshot final totals: %+v > %+v", i, last, final)
+			}
+		}
+	}
+}
+
+// TestStatsScrapeDuringFindContext covers the same contract for concurrent
+// single-conflict searches sharing one Finder (the service's worker pool
+// shape: many FindContext calls in flight, a scraper reading totals).
+func TestStatsScrapeDuringFindContext(t *testing.T) {
+	_, tbl := build(t, "figure1")
+	f := core.NewFinder(tbl, core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         20000,
+	})
+
+	var done atomic.Bool
+	var scraped atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			_ = f.Stats()
+			scraped.Add(1)
+		}
+	}()
+
+	var searchers sync.WaitGroup
+	errs := make([]error, len(tbl.Conflicts))
+	for i, c := range tbl.Conflicts {
+		searchers.Add(1)
+		go func(i int, c lr.Conflict) {
+			defer searchers.Done()
+			_, errs[i] = f.Find(c)
+		}(i, c)
+	}
+	searchers.Wait()
+	done.Store(true)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("conflict %d: %v", i, err)
+		}
+	}
+	if scraped.Load() == 0 {
+		t.Fatal("scraper never ran")
+	}
+	if f.Stats().Expanded == 0 {
+		t.Fatal("no search work recorded")
+	}
+}

@@ -28,19 +28,14 @@ import (
 	"lrcex/internal/grammar"
 )
 
+// Grammar is re-exported so the limit API reads naturally.
+type Grammar = grammar.Grammar
+
 // Parse builds a grammar from GDL source. The name is used in error messages
-// only.
+// only. Parse applies no resource limits and is meant for trusted, embedded
+// sources; use ParseLimited for network input.
 func Parse(name, src string) (*grammar.Grammar, error) {
-	toks, err := lex(name, src)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{name: name, toks: toks}
-	spec, err := p.parseSpec()
-	if err != nil {
-		return nil, err
-	}
-	return spec.build()
+	return ParseLimited(name, src, Limits{})
 }
 
 // MustParse is Parse for known-good embedded grammars; it panics on error.
@@ -152,6 +147,7 @@ func isIdentChar(c byte) bool {
 // spec is the raw parsed form prior to symbol resolution.
 type spec struct {
 	name       string
+	limits     Limits
 	tokenDecls []string
 	precLevels []precLevel // in declaration order, lowest first
 	start      string
@@ -181,9 +177,11 @@ type symRef struct {
 }
 
 type parser struct {
-	name string
-	toks []token
-	pos  int
+	name   string
+	toks   []token
+	pos    int
+	limits Limits
+	prods  int // running production (alternative) count, against limits
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -193,7 +191,7 @@ func (p *parser) errf(line int, format string, args ...any) error {
 }
 
 func (p *parser) parseSpec() (*spec, error) {
-	s := &spec{name: p.name}
+	s := &spec{name: p.name, limits: p.limits}
 	for {
 		t := p.peek()
 		switch t.kind {
@@ -209,6 +207,10 @@ func (p *parser) parseSpec() (*spec, error) {
 		case tokIdent:
 			r, err := p.parseRule()
 			if err != nil {
+				return nil, err
+			}
+			p.prods += len(r.alts)
+			if err := p.limits.check(p.name, LimitProductions, p.limits.MaxProductions, p.prods); err != nil {
 				return nil, err
 			}
 			s.rules = append(s.rules, r)
@@ -301,6 +303,28 @@ func (p *parser) parseRule() (rule, error) {
 }
 
 func (s *spec) build() (*grammar.Grammar, error) {
+	if s.limits.MaxSymbols > 0 {
+		distinct := make(map[string]bool)
+		for _, r := range s.rules {
+			distinct[r.lhs] = true
+			for _, a := range r.alts {
+				for _, ref := range a.syms {
+					distinct[ref.name] = true
+				}
+			}
+		}
+		for _, n := range s.tokenDecls {
+			distinct[n] = true
+		}
+		for _, lv := range s.precLevels {
+			for _, n := range lv.names {
+				distinct[n] = true
+			}
+		}
+		if err := s.limits.check(s.name, LimitSymbols, s.limits.MaxSymbols, len(distinct)); err != nil {
+			return nil, err
+		}
+	}
 	b := grammar.NewBuilder()
 	nonterm := make(map[string]bool, len(s.rules))
 	for _, r := range s.rules {

@@ -1,0 +1,102 @@
+package gdl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Limits bounds how much work Parse may do on untrusted input. The analysis
+// service accepts grammars over the network, so the parser must reject
+// adversarial submissions (gigabyte sources, million-production grammars)
+// with a typed error *before* the expensive LALR construction runs, not OOM
+// halfway through it. The zero value of every field means "unlimited", so
+// Parse (used for the embedded, trusted corpus) keeps its historical
+// behavior.
+type Limits struct {
+	// MaxSourceBytes caps len(src); enforced before lexing, so oversized
+	// submissions are rejected in O(1).
+	MaxSourceBytes int
+	// MaxProductions caps the total number of productions (rule
+	// alternatives); enforced while parsing, before symbol resolution.
+	MaxProductions int
+	// MaxSymbols caps the number of *distinct* grammar symbols (terminals +
+	// nonterminals); enforced during symbol resolution.
+	MaxSymbols int
+}
+
+// Limit identifiers for LimitError.Limit.
+const (
+	LimitSourceBytes = "source bytes"
+	LimitProductions = "productions"
+	LimitSymbols     = "symbols"
+)
+
+// LimitError reports that a source exceeded one of the Limits. It is a typed
+// error so callers (the analysis service) can map it onto protocol-level
+// responses: an oversized source is "payload too large" (HTTP 413), while a
+// structurally oversized grammar is "unprocessable" (HTTP 422).
+type LimitError struct {
+	Grammar string // grammar name, as passed to Parse
+	Limit   string // which limit: LimitSourceBytes, LimitProductions, LimitSymbols
+	Max     int    // the configured limit
+	Got     int    // the observed value (for source bytes, the full length)
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%s: grammar exceeds %s limit (%d > %d)", e.Grammar, e.Limit, e.Got, e.Max)
+}
+
+// check returns a LimitError when max is set (> 0) and got exceeds it.
+func (l Limits) check(name, limit string, max, got int) error {
+	if max > 0 && got > max {
+		return &LimitError{Grammar: name, Limit: limit, Max: max, Got: got}
+	}
+	return nil
+}
+
+// ParseLimited is Parse with resource limits enforced: source size before
+// lexing, production count during parsing, distinct-symbol count during
+// resolution. A violated limit yields a *LimitError.
+func ParseLimited(name, src string, lim Limits) (g *Grammar, err error) {
+	if err := lim.check(name, LimitSourceBytes, lim.MaxSourceBytes, len(src)); err != nil {
+		return nil, err
+	}
+	toks, err := lex(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{name: name, toks: toks, limits: lim}
+	spec, err := p.parseSpec()
+	if err != nil {
+		return nil, err
+	}
+	return spec.build()
+}
+
+// Fingerprint returns a canonical content hash of a grammar source: the
+// SHA-256 of its token stream. Whitespace, comments, and newline placement do
+// not affect the hash, so trivially reformatted submissions of the same
+// grammar collapse onto one fingerprint — this is the cache key of the
+// analysis service, computed in O(len(src)) without building any tables.
+// Limits apply as in ParseLimited (only MaxSourceBytes is relevant here).
+func Fingerprint(name, src string, lim Limits) (string, error) {
+	if err := lim.check(name, LimitSourceBytes, lim.MaxSourceBytes, len(src)); err != nil {
+		return "", err
+	}
+	toks, err := lex(name, src)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	var sep [2]byte
+	for _, t := range toks {
+		// (kind, len-delimited text): unambiguous framing, so "a b" and
+		// "ab" cannot collide.
+		sep[0] = byte(t.kind)
+		sep[1] = byte(len(t.text)) // texts > 255 bytes still framed by kind byte + content
+		h.Write(sep[:])
+		h.Write([]byte(t.text))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,179 @@
+package gdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const limitsSample = `
+%token NUM
+expr : expr '+' expr
+     | NUM
+     ;
+`
+
+func TestParseLimitedUnlimitedMatchesParse(t *testing.T) {
+	g1, err := Parse("s", limitsSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseLimited("s", limitsSample, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumProductions() != g2.NumProductions() {
+		t.Fatalf("limited parse diverged: %d vs %d productions", g1.NumProductions(), g2.NumProductions())
+	}
+}
+
+func TestParseLimitedSourceBytes(t *testing.T) {
+	_, err := ParseLimited("s", limitsSample, Limits{MaxSourceBytes: 10})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+	if le.Limit != LimitSourceBytes || le.Max != 10 || le.Got != len(limitsSample) {
+		t.Fatalf("wrong LimitError: %+v", le)
+	}
+	// At the limit: accepted.
+	if _, err := ParseLimited("s", limitsSample, Limits{MaxSourceBytes: len(limitsSample)}); err != nil {
+		t.Fatalf("exact-size source rejected: %v", err)
+	}
+}
+
+func TestParseLimitedProductions(t *testing.T) {
+	_, err := ParseLimited("s", limitsSample, Limits{MaxProductions: 1})
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != LimitProductions {
+		t.Fatalf("want productions LimitError, got %v", err)
+	}
+	if _, err := ParseLimited("s", limitsSample, Limits{MaxProductions: 2}); err != nil {
+		t.Fatalf("2 productions within limit 2 rejected: %v", err)
+	}
+}
+
+func TestParseLimitedSymbols(t *testing.T) {
+	// Distinct symbols: expr, '+', NUM = 3.
+	_, err := ParseLimited("s", limitsSample, Limits{MaxSymbols: 2})
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != LimitSymbols {
+		t.Fatalf("want symbols LimitError, got %v", err)
+	}
+	if le.Got != 3 {
+		t.Fatalf("distinct symbol count = %d, want 3", le.Got)
+	}
+	if _, err := ParseLimited("s", limitsSample, Limits{MaxSymbols: 3}); err != nil {
+		t.Fatalf("3 symbols within limit 3 rejected: %v", err)
+	}
+}
+
+func TestParseLimitedEnforcesBeforeLexing(t *testing.T) {
+	// A huge *invalid* source must be rejected by size, proving the size
+	// gate runs before the lexer ever walks the input.
+	huge := strings.Repeat("\x00", 1<<20)
+	_, err := ParseLimited("s", huge, Limits{MaxSourceBytes: 1024})
+	var le *LimitError
+	if !errors.As(err, &le) || le.Limit != LimitSourceBytes {
+		t.Fatalf("want source-bytes LimitError, got %v", err)
+	}
+}
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := "expr : expr '+' expr | NUM ;"
+	b := "// a comment\nexpr :\n  expr '+' expr /* mid */\n| NUM ;\n"
+	c := "expr : expr '*' expr | NUM ;"
+	fa, err := Fingerprint("a", a, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fingerprint("b", b, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := Fingerprint("c", c, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Fatalf("whitespace/comment variation changed fingerprint:\n%s\n%s", fa, fb)
+	}
+	if fa == fc {
+		t.Fatalf("distinct grammars share a fingerprint: %s", fa)
+	}
+	if len(fa) != 64 {
+		t.Fatalf("fingerprint is not a sha256 hex string: %q", fa)
+	}
+	// Framing: "a b" and "ab" must not collide.
+	f1, err1 := Fingerprint("f", "x : a b ;", Limits{})
+	f2, err2 := Fingerprint("f", "x : ab ;", Limits{})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if f1 == f2 {
+		t.Fatal("token framing collision: 'a b' == 'ab'")
+	}
+}
+
+func TestFingerprintRespectsLimits(t *testing.T) {
+	_, err := Fingerprint("s", strings.Repeat("a", 100), Limits{MaxSourceBytes: 10})
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %v", err)
+	}
+}
+
+// FuzzParseLimited throws arbitrary bytes at the hardened entry point with
+// service-sized limits: it must never panic, never succeed past a violated
+// limit, and every limit rejection must be the typed *LimitError.
+func FuzzParseLimited(f *testing.F) {
+	seeds := []string{
+		limitsSample,
+		"",
+		"x",
+		"x : ;",
+		"x : x x | ;",
+		"%token " + strings.Repeat("T ", 64) + "\nx : T ;",
+		strings.Repeat("r"+strings.Repeat("x ", 8)+": a | b ;\n", 16),
+		"/* unterminated",
+		"'unterminated",
+		"%prec",
+		"%start\n",
+		"%left\n",
+		"x : 'a' %prec ;",
+		strings.Repeat("deep : deep deep ;\n", 40),
+		"\x00\xff\xfe",
+		"x : " + strings.Repeat("'+' ", 200) + ";",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	lim := Limits{MaxSourceBytes: 4096, MaxProductions: 64, MaxSymbols: 64}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ParseLimited("fuzz", src, lim)
+		if err != nil {
+			var le *LimitError
+			if errors.As(err, &le) {
+				if le.Max <= 0 || le.Got <= le.Max {
+					t.Fatalf("inconsistent LimitError: %+v", le)
+				}
+			}
+			return
+		}
+		if len(src) > lim.MaxSourceBytes {
+			t.Fatalf("oversized source (%d bytes) accepted", len(src))
+		}
+		if n := g.NumProductions(); n > lim.MaxProductions {
+			t.Fatalf("grammar with %d productions accepted past limit %d", n, lim.MaxProductions)
+		}
+		// Accepted source must fingerprint cleanly and stably.
+		f1, err := Fingerprint("fuzz", src, lim)
+		if err != nil {
+			t.Fatalf("parseable source failed to fingerprint: %v", err)
+		}
+		f2, _ := Fingerprint("fuzz", src, lim)
+		if f1 != f2 {
+			t.Fatal("fingerprint not deterministic")
+		}
+	})
+}

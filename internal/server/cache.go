@@ -1,0 +1,95 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-guarded LRU over complete analysis reports, keyed
+// by canonical-fingerprint + report-affecting options. Values are immutable
+// once inserted (handlers copy the top-level struct before mutating the
+// Cached flag), so a hit is a pointer share, not a deep copy.
+type resultCache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	entries   map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val *AnalyzeResponse
+}
+
+// newResultCache returns an LRU holding at most max entries; max <= 0
+// disables caching (every lookup misses, every add is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached report for key, refreshing its recency.
+func (c *resultCache) get(key string) (*AnalyzeResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// when the capacity is exceeded.
+func (c *resultCache) add(key string, val *AnalyzeResponse) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// counters returns (hits, misses, evictions).
+func (c *resultCache) counters() (hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// keysMRU returns the keys from most to least recently used (tests).
+func (c *resultCache) keysMRU() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+// Package client is the typed Go client for cexd's analysis service
+// (internal/server): JSON encoding, deadline plumbing, and retry with
+// exponential backoff on load-shedding responses (429) and drains (503),
+// honoring the server's Retry-After hint. cmd/cexload drives it in a closed
+// loop; embedders get the same behavior programmatically.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"lrcex/internal/server"
+)
+
+// HTTPError is a non-2xx response, carrying the decoded error body when the
+// server sent one.
+type HTTPError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration // parsed Retry-After, 0 when absent
+}
+
+func (e *HTTPError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("cexd: HTTP %d (%s): %s", e.Status, e.Code, e.Message)
+	}
+	return fmt.Sprintf("cexd: HTTP %d", e.Status)
+}
+
+// Retryable reports whether the error is worth retrying (shed or draining).
+func (e *HTTPError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one cexd instance. The zero value is not usable; call New.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	retries int
+	backoff time.Duration
+	maxWait time.Duration
+	rng     *rand.Rand
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (default: http.Client with a 5
+// minute overall timeout; per-call contexts bound individual requests).
+func WithHTTPClient(h *http.Client) Option { return func(c *Client) { c.http = h } }
+
+// WithRetries sets how many times a shed/draining response is retried
+// (default 4; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base backoff (default 100ms, doubled per attempt,
+// capped at 5s, ±25% jitter; a server Retry-After overrides the computed
+// wait when larger).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a client for the service at baseURL (e.g.
+// "http://127.0.0.1:8372").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		baseURL: strings.TrimRight(baseURL, "/"),
+		http:    &http.Client{Timeout: 5 * time.Minute},
+		retries: 4,
+		backoff: 100 * time.Millisecond,
+		maxWait: 5 * time.Second,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Analyze submits a grammar and returns its report. Partial reports
+// (deadline expired server-side, HTTP 504) are returned alongside an
+// *HTTPError with Status 504 so callers can use what was found; every other
+// non-2xx response returns a nil report. Shed (429) and draining (503)
+// responses are retried with backoff before giving up.
+func (c *Client) Analyze(ctx context.Context, req *server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cexd: encoding request: %w", err)
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		resp, herr := c.post(ctx, "/v1/analyze", body)
+		if herr == nil {
+			return resp, nil
+		}
+		var he *HTTPError
+		isHTTP := asHTTPError(herr, &he)
+		if isHTTP && he.Status == http.StatusGatewayTimeout {
+			return resp, herr // partial report: both halves meaningful
+		}
+		last = herr
+		if !isHTTP || !he.Retryable() || attempt >= c.retries {
+			return nil, last
+		}
+		wait := c.backoffFor(attempt, he.RetryAfter)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func asHTTPError(err error, out **HTTPError) bool {
+	he, ok := err.(*HTTPError)
+	if ok {
+		*out = he
+	}
+	return ok
+}
+
+// backoffFor computes the wait before retry #attempt: exponential from the
+// base with ±25% jitter, capped, and never below the server's Retry-After.
+func (c *Client) backoffFor(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.backoff << uint(attempt)
+	if d > c.maxWait {
+		d = c.maxWait
+	}
+	// ±25% jitter decorrelates synchronized retries from many clients.
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2+1)) - d/4
+	d += jitter
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// post sends one request and decodes the response; non-2xx (other than the
+// partial-report 504) yields *HTTPError.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*server.AnalyzeResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+
+	if hres.StatusCode == http.StatusOK {
+		var out server.AnalyzeResponse
+		if err := json.NewDecoder(hres.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("cexd: decoding response: %w", err)
+		}
+		return &out, nil
+	}
+	he := &HTTPError{Status: hres.StatusCode, RetryAfter: parseRetryAfter(hres.Header.Get("Retry-After"))}
+	raw, _ := io.ReadAll(io.LimitReader(hres.Body, 1<<20))
+	if hres.StatusCode == http.StatusGatewayTimeout {
+		// Partial report: body is an AnalyzeResponse, not an ErrorResponse.
+		var out server.AnalyzeResponse
+		if err := json.Unmarshal(raw, &out); err == nil && out.Partial {
+			he.Code, he.Message = "deadline", "partial report: request deadline expired mid-search"
+			return &out, he
+		}
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(raw, &er); err == nil && er.Error != "" {
+		he.Code, he.Message = er.Code, er.Error
+		if he.RetryAfter == 0 && er.RetryAfterMS > 0 {
+			he.RetryAfter = time.Duration(er.RetryAfterMS) * time.Millisecond
+		}
+	} else {
+		he.Message = strings.TrimSpace(string(raw))
+	}
+	return nil, he
+}
+
+// Health checks /healthz; nil means the server is up and not draining.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	res, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	io.Copy(io.Discard, res.Body)
+	if res.StatusCode != http.StatusOK {
+		return &HTTPError{Status: res.StatusCode}
+	}
+	return nil
+}
+
+// Metrics fetches the raw Prometheus text exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	res, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(res.Body)
+	if err != nil {
+		return "", err
+	}
+	if res.StatusCode != http.StatusOK {
+		return "", &HTTPError{Status: res.StatusCode, Message: strings.TrimSpace(string(raw))}
+	}
+	return string(raw), nil
+}
+
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}

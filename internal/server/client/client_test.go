@@ -1,0 +1,258 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lrcex/internal/server"
+)
+
+const figure1 = `
+%token NUM
+s : expr ;
+expr : expr '+' expr
+     | expr '*' expr
+     | NUM
+     ;
+`
+
+// fakeServer scripts a sequence of responses, one per request, and records
+// the inter-request gaps so tests can check that Retry-After was honored.
+type fakeServer struct {
+	t         *testing.T
+	responses []func(w http.ResponseWriter)
+	calls     atomic.Int64
+	times     []time.Time
+}
+
+func (f *fakeServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(f.calls.Add(1)) - 1
+		f.times = append(f.times, time.Now())
+		if n >= len(f.responses) {
+			f.t.Errorf("unexpected request #%d", n+1)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		f.responses[n](w)
+	})
+}
+
+func jsonError(status int, code, msg string, retryAfter string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: msg, Code: code})
+	}
+}
+
+func okResponse(name string) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.AnalyzeResponse{Name: name, Fingerprint: strings.Repeat("ab", 32)})
+	}
+}
+
+func TestRetryOn429ThenSuccess(t *testing.T) {
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
+		jsonError(http.StatusTooManyRequests, "overloaded", "queue full", ""),
+		jsonError(http.StatusServiceUnavailable, "draining", "shutting down", ""),
+		okResponse("g"),
+	}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	resp, err := c.Analyze(context.Background(), &server.AnalyzeRequest{Name: "g", Grammar: figure1})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if resp.Name != "g" {
+		t.Fatalf("Name = %q, want g", resp.Name)
+	}
+	if got := fs.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two retries)", got)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
+		jsonError(http.StatusTooManyRequests, "overloaded", "queue full", "1"), // 1 second
+		okResponse("g"),
+	}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	// Base backoff of 1ms would retry almost immediately; Retry-After: 1
+	// must stretch the wait to at least ~1s.
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	start := time.Now()
+	if _, err := c.Analyze(context.Background(), &server.AnalyzeRequest{Grammar: figure1}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if gap := fs.times[1].Sub(fs.times[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry gap %v, want >= ~1s from Retry-After", gap)
+	}
+	_ = start
+}
+
+func TestNoRetryOn422(t *testing.T) {
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
+		jsonError(http.StatusUnprocessableEntity, "parse_error", "bad grammar", ""),
+	}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	_, err := c.Analyze(context.Background(), &server.AnalyzeRequest{Grammar: "x :"})
+	he, ok := err.(*HTTPError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *HTTPError", err, err)
+	}
+	if he.Status != http.StatusUnprocessableEntity || he.Code != "parse_error" {
+		t.Fatalf("got status %d code %q, want 422 parse_error", he.Status, he.Code)
+	}
+	if he.Retryable() {
+		t.Fatal("422 reported Retryable")
+	}
+	if got := fs.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry on 422)", got)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	resp429 := jsonError(http.StatusTooManyRequests, "overloaded", "queue full", "")
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){resp429, resp429, resp429}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond), WithRetries(2))
+	_, err := c.Analyze(context.Background(), &server.AnalyzeRequest{Grammar: figure1})
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want final 429 after retries exhausted", err)
+	}
+	if got := fs.calls.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestPartial504ReturnsBothHalves(t *testing.T) {
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			json.NewEncoder(w).Encode(server.AnalyzeResponse{Name: "g", Partial: true})
+		},
+	}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	resp, err := c.Analyze(context.Background(), &server.AnalyzeRequest{Grammar: figure1})
+	if resp == nil || !resp.Partial {
+		t.Fatalf("resp = %+v, want partial report", resp)
+	}
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusGatewayTimeout {
+		t.Fatalf("err = %v, want 504 *HTTPError alongside the partial report", err)
+	}
+	if got := fs.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (504 is not retried)", got)
+	}
+}
+
+func TestContextCancelDuringBackoff(t *testing.T) {
+	resp429 := jsonError(http.StatusTooManyRequests, "overloaded", "queue full", "5")
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){resp429}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := New(ts.URL)
+	start := time.Now()
+	_, err := c.Analyze(ctx, &server.AnalyzeRequest{Grammar: figure1})
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v; backoff did not observe the context", elapsed)
+	}
+}
+
+// TestEndToEnd runs the real server handler behind httptest and exercises
+// Analyze, Health, and Metrics through the typed client.
+func TestEndToEnd(t *testing.T) {
+	s := server.New(server.Config{})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	req := &server.AnalyzeRequest{Name: "figure1", Grammar: figure1,
+		Options: server.AnalyzeOptions{NoTimeout: true, MaxConfigs: 20000}}
+	resp, err := c.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if resp.ConflictCount == 0 || !resp.Ambiguous {
+		t.Fatalf("resp = %+v, want ambiguous grammar with conflicts", resp)
+	}
+	if resp.Cached {
+		t.Fatal("first submission reported cached")
+	}
+	resp2, err := c.Analyze(ctx, req)
+	if err != nil {
+		t.Fatalf("Analyze (resubmit): %v", err)
+	}
+	if !resp2.Cached {
+		t.Fatal("resubmission not served from cache")
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if !strings.Contains(metrics, "cexd_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", metrics)
+	}
+
+	// Parse errors surface as non-retryable 422s end to end.
+	_, err = c.Analyze(ctx, &server.AnalyzeRequest{Grammar: "x : ;; nonsense"})
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("err = %v, want 422 for malformed GDL", err)
+	}
+}
+
+func TestBackoffForBounds(t *testing.T) {
+	c := New("http://x", WithBackoff(100*time.Millisecond))
+	for attempt := 0; attempt < 12; attempt++ {
+		for trial := 0; trial < 50; trial++ {
+			d := c.backoffFor(attempt, 0)
+			if d < 0 || d > c.maxWait+c.maxWait/4 {
+				t.Fatalf("attempt %d: backoff %v out of [0, %v]", attempt, d, c.maxWait+c.maxWait/4)
+			}
+		}
+	}
+	if d := c.backoffFor(0, 3*time.Second); d < 3*time.Second {
+		t.Fatalf("backoff %v ignored Retry-After of 3s", d)
+	}
+}

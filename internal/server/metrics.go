@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"lrcex/internal/core"
+)
+
+// Request outcomes, the label space of the request counters and latency
+// histograms. Fixed at startup so the hot path is lock-free atomics.
+const (
+	outcomeOK          = "ok"          // complete report (includes singleflight followers)
+	outcomePartial     = "partial"     // deadline expired mid-search (504)
+	outcomeCacheHit    = "cache_hit"   // served from the LRU
+	outcomeInvalid     = "invalid"     // malformed JSON / options / GDL (422)
+	outcomeTooLarge    = "too_large"   // source over the byte limit (413)
+	outcomeShed        = "shed"        // queue full (429)
+	outcomeUnavailable = "unavailable" // draining (503)
+	outcomeError       = "error"       // internal failure (500)
+)
+
+var outcomes = []string{
+	outcomeOK, outcomePartial, outcomeCacheHit, outcomeInvalid,
+	outcomeTooLarge, outcomeShed, outcomeUnavailable, outcomeError,
+}
+
+// latencyBuckets are the histogram upper bounds in seconds (+Inf implied).
+var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+// outcomeMetrics is one outcome's counter + latency histogram.
+type outcomeMetrics struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [len(latencyBuckets) + 1]atomic.Int64 // last = +Inf
+}
+
+func (om *outcomeMetrics) observe(d time.Duration) {
+	om.count.Add(1)
+	om.sumNS.Add(int64(d))
+	secs := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			om.buckets[i].Add(1)
+		}
+	}
+	om.buckets[len(latencyBuckets)].Add(1) // +Inf is cumulative like the rest
+}
+
+// metrics is the server's observability state: request counts and latencies
+// by outcome, cache and queue health, and the cumulative SearchStats of
+// every completed analysis. All mutation is atomic; the /metrics handler
+// renders a point-in-time scrape in the Prometheus text exposition format.
+type metrics struct {
+	start    time.Time
+	requests map[string]*outcomeMetrics
+
+	shed      atomic.Int64
+	collapsed atomic.Int64
+	inflight  atomic.Int64
+	analyses  atomic.Int64 // analyses actually executed (cache + collapse skips excluded)
+
+	searchExpanded     atomic.Int64
+	searchPushed       atomic.Int64
+	searchDedup        atomic.Int64
+	searchPath         atomic.Int64
+	searchAllocBytes   atomic.Int64
+	searchPeakFrontier atomic.Int64 // max across analyses
+}
+
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now(), requests: make(map[string]*outcomeMetrics, len(outcomes))}
+	for _, o := range outcomes {
+		m.requests[o] = &outcomeMetrics{}
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *metrics) observe(outcome string, d time.Duration) {
+	om, ok := m.requests[outcome]
+	if !ok {
+		om = m.requests[outcomeError]
+	}
+	om.observe(d)
+}
+
+// addSearchStats folds one completed analysis' totals into the cumulative
+// counters /metrics exposes.
+func (m *metrics) addSearchStats(s core.SearchStats) {
+	m.analyses.Add(1)
+	m.searchExpanded.Add(s.Expanded)
+	m.searchPushed.Add(s.Pushed)
+	m.searchDedup.Add(s.DedupHits)
+	m.searchPath.Add(s.PathExpanded)
+	m.searchAllocBytes.Add(s.AllocBytes)
+	for {
+		cur := m.searchPeakFrontier.Load()
+		if s.PeakFrontier <= cur || m.searchPeakFrontier.CompareAndSwap(cur, s.PeakFrontier) {
+			return
+		}
+	}
+}
+
+// write renders the scrape. queueDepth and cacheLen are sampled gauges the
+// server passes in; hits/misses/evictions come from the cache's counters.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap int, hits, misses, evictions int64) {
+	fmt.Fprintf(w, "# HELP cexd_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE cexd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "cexd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP cexd_requests_total Requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE cexd_requests_total counter\n")
+	names := make([]string, 0, len(m.requests))
+	for o := range m.requests {
+		names = append(names, o)
+	}
+	sort.Strings(names)
+	for _, o := range names {
+		fmt.Fprintf(w, "cexd_requests_total{outcome=%q} %d\n", o, m.requests[o].count.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP cexd_request_duration_seconds Request latency by outcome.\n")
+	fmt.Fprintf(w, "# TYPE cexd_request_duration_seconds histogram\n")
+	for _, o := range names {
+		om := m.requests[o]
+		if om.count.Load() == 0 {
+			continue
+		}
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "cexd_request_duration_seconds_bucket{outcome=%q,le=%q} %d\n", o, trimFloat(ub), om.buckets[i].Load())
+		}
+		fmt.Fprintf(w, "cexd_request_duration_seconds_bucket{outcome=%q,le=\"+Inf\"} %d\n", o, om.buckets[len(latencyBuckets)].Load())
+		fmt.Fprintf(w, "cexd_request_duration_seconds_sum{outcome=%q} %.6f\n", o, time.Duration(om.sumNS.Load()).Seconds())
+		fmt.Fprintf(w, "cexd_request_duration_seconds_count{outcome=%q} %d\n", o, om.count.Load())
+	}
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("cexd_queue_depth", "Jobs waiting for a worker.", int64(queueDepth))
+	gauge("cexd_queue_capacity", "Queue slots before load shedding.", int64(queueCap))
+	gauge("cexd_in_flight", "Requests admitted and not yet answered.", m.inflight.Load())
+	counter("cexd_shed_total", "Requests shed with 429 because the queue was full.", m.shed.Load())
+	counter("cexd_singleflight_collapsed_total", "Requests collapsed onto an identical in-flight analysis.", m.collapsed.Load())
+
+	counter("cexd_cache_hits_total", "Result cache hits.", hits)
+	counter("cexd_cache_misses_total", "Result cache misses.", misses)
+	counter("cexd_cache_evictions_total", "Result cache LRU evictions.", evictions)
+	gauge("cexd_cache_entries", "Result cache entries.", int64(cacheLen))
+	gauge("cexd_cache_capacity", "Result cache capacity.", int64(cacheCap))
+
+	counter("cexd_analyses_total", "Analyses executed (cache hits and collapsed requests excluded).", m.analyses.Load())
+	counter("cexd_search_expanded_total", "Configurations expanded by the unifying searches.", m.searchExpanded.Load())
+	counter("cexd_search_pushed_total", "Configurations pushed onto search frontiers.", m.searchPushed.Load())
+	counter("cexd_search_dedup_hits_total", "Successors dropped by the visited set.", m.searchDedup.Load())
+	counter("cexd_search_path_expanded_total", "Vertices expanded by the path searches.", m.searchPath.Load())
+	counter("cexd_search_alloc_bytes_total", "Search-owned bytes allocated.", m.searchAllocBytes.Load())
+	gauge("cexd_search_peak_frontier", "Largest frontier across analyses.", m.searchPeakFrontier.Load())
+}
+
+// trimFloat renders a bucket bound the way Prometheus does (no trailing
+// zeros).
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

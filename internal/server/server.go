@@ -1,0 +1,462 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lrcex/internal/core"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+)
+
+// Config tunes the service. The zero value selects production-safe defaults.
+type Config struct {
+	// Workers is the number of analyses run concurrently (default
+	// GOMAXPROCS). Each admitted job gets one worker; the search's own
+	// parallelism nests inside it.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64). A full
+	// queue sheds new submissions with 429 + Retry-After instead of
+	// accumulating unbounded goroutines.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 256; 0 < explicit
+	// negative disables caching).
+	CacheEntries int
+	// Limits guards the GDL parser against adversarial input (defaults:
+	// 1 MiB source, 20000 productions, 10000 distinct symbols).
+	Limits gdl.Limits
+	// DefaultDeadline applies when a request names none (default 30s);
+	// MaxDeadline caps what a request may ask for (default 2m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Finder is the base search configuration requests override (zero value
+	// = the paper's defaults).
+	Finder core.Options
+	// RetryAfter is the hint attached to 429/503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.Limits.MaxSourceBytes == 0 {
+		c.Limits.MaxSourceBytes = 1 << 20
+	}
+	if c.Limits.MaxProductions == 0 {
+		c.Limits.MaxProductions = 20000
+	}
+	if c.Limits.MaxSymbols == 0 {
+		c.Limits.MaxSymbols = 10000
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server is the analysis service. Create with New, mount Handler on an
+// http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg   Config
+	cache *resultCache
+	sf    group
+	m     *metrics
+
+	jobs     chan *job
+	quit     chan struct{}
+	draining atomic.Bool
+	workers  sync.WaitGroup
+
+	// testGate, when set, is invoked by a worker right before it runs a
+	// job's analysis — tests use it to hold workers mid-flight.
+	testGate func()
+}
+
+// job is one admitted analysis: everything the worker needs, plus the done
+// channel its waiter blocks on.
+type job struct {
+	g        *grammar.Grammar
+	name     string
+	fp       string
+	opts     AnalyzeOptions
+	ctx      context.Context // carries the request deadline
+	admitted time.Time
+	queueMS  float64
+
+	res  *jobResult
+	done chan struct{}
+}
+
+// jobResult pairs the report with the HTTP status the handler should send.
+type jobResult struct {
+	resp   *AnalyzeResponse
+	status int
+	err    error
+}
+
+var (
+	errOverloaded = errors.New("server overloaded: queue full")
+	errDraining   = errors.New("server draining")
+)
+
+// New starts the worker pool and returns the server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheEntries),
+		m:     newMetrics(),
+		jobs:  make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// worker pulls jobs until quit, then drains the queue so every admitted job
+// is answered before Shutdown returns.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.run(j)
+		case <-s.quit:
+			for {
+				select {
+				case j := <-s.jobs:
+					s.run(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// run executes one job and publishes its result.
+func (s *Server) run(j *job) {
+	j.queueMS = msSince(j.admitted)
+	if gate := s.testGate; gate != nil {
+		gate()
+	}
+	resp, err := analyze(j.ctx, j.g, j.name, j.fp, j.opts, s.cfg.Finder)
+	res := &jobResult{resp: resp}
+	switch {
+	case err == nil:
+		res.status = http.StatusOK
+		s.m.addSearchStats(coreStats(resp.Stats))
+	case resp != nil && resp.Partial:
+		res.status = http.StatusGatewayTimeout
+		s.m.addSearchStats(coreStats(resp.Stats))
+	default:
+		res.status = http.StatusInternalServerError
+		res.err = err
+	}
+	if res.resp != nil {
+		res.resp.Timings.QueueMS = j.queueMS
+	}
+	j.res = res
+	close(j.done)
+}
+
+func coreStats(s StatsJSON) core.SearchStats {
+	return core.SearchStats{
+		Expanded:     s.Expanded,
+		Pushed:       s.Pushed,
+		DedupHits:    s.DedupHits,
+		PeakFrontier: s.PeakFrontier,
+		AllocBytes:   s.AllocBytes,
+		PathExpanded: s.PathExpanded,
+	}
+}
+
+// submit admits a job onto the bounded queue without blocking: a full queue
+// is load-shed immediately (429), and a draining server refuses (503).
+func (s *Server) submit(j *job) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		return errOverloaded
+	}
+}
+
+// Shutdown drains the service: new submissions are refused with 503,
+// queued and in-flight analyses complete (bounded by their own deadlines),
+// and the worker pool exits. Returns ctx.Err() if the drain outlives ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil // already shutting down
+	}
+	close(s.quit)
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		// Fail any job that slipped into the queue after the workers left
+		// (the submit/drain race window); its waiter gets a 503.
+		for {
+			select {
+			case j := <-s.jobs:
+				j.res = &jobResult{status: http.StatusServiceUnavailable, err: errDraining}
+				close(j.done)
+			default:
+				return nil
+			}
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/analyze   analyze a grammar
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, evictions := s.cache.counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.write(w, len(s.jobs), cap(s.jobs), s.cache.len(), s.cfg.CacheEntries, hits, misses, evictions)
+}
+
+// handleAnalyze is the hot path: decode → fingerprint → cache → parse →
+// singleflight → bounded queue → search → respond.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, start, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", outcomeError)
+		return
+	}
+	if s.draining.Load() {
+		s.unavailable(w, start)
+		return
+	}
+
+	// The JSON body wraps the grammar source; cap it at the source limit
+	// plus headroom for the envelope so oversized bodies die at the socket.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.Limits.MaxSourceBytes)+64*1024)
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, start, http.StatusRequestEntityTooLarge, "too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), outcomeTooLarge)
+			return
+		}
+		s.fail(w, start, http.StatusUnprocessableEntity, "invalid_json", "malformed JSON body: "+err.Error(), outcomeInvalid)
+		return
+	}
+	if req.Grammar == "" {
+		s.fail(w, start, http.StatusUnprocessableEntity, "invalid_json", "missing \"grammar\" field", outcomeInvalid)
+		return
+	}
+	if err := req.Options.validate(); err != nil {
+		s.fail(w, start, http.StatusUnprocessableEntity, "invalid_options", err.Error(), outcomeInvalid)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "grammar"
+	}
+
+	// Canonical fingerprint: O(source) lexing, no tables. A cache hit skips
+	// everything downstream, including the GDL parse.
+	fp, err := gdl.Fingerprint(name, req.Grammar, s.cfg.Limits)
+	if err != nil {
+		s.failParse(w, start, err)
+		return
+	}
+	key := fp + "|" + req.Options.optionsKey()
+	if cached, ok := s.cache.get(key); ok {
+		resp := *cached // shallow copy: slices are shared, immutable
+		resp.Cached = true
+		s.respond(w, start, http.StatusOK, &resp, outcomeCacheHit)
+		return
+	}
+
+	parseStart := time.Now()
+	g, err := gdl.ParseLimited(name, req.Grammar, s.cfg.Limits)
+	if err != nil {
+		s.failParse(w, start, err)
+		return
+	}
+	parseMS := msSince(parseStart)
+
+	deadline := s.cfg.DefaultDeadline
+	if req.Options.DeadlineMS > 0 {
+		deadline = time.Duration(req.Options.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.MaxDeadline {
+		deadline = s.cfg.MaxDeadline
+	}
+
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	// Singleflight: identical concurrent submissions ride one execution.
+	// The flight runs on a context detached from any single client so a
+	// leader disconnect cannot poison followers; the deadline still bounds
+	// it, and queue wait spends from the same budget.
+	res, err, shared := s.sf.do(key, func() (*jobResult, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		j := &job{
+			g: g, name: name, fp: fp, opts: req.Options,
+			ctx: ctx, admitted: time.Now(), done: make(chan struct{}),
+		}
+		if err := s.submit(j); err != nil {
+			return nil, err
+		}
+		<-j.done
+		// Safe to mutate here: followers are still blocked on the flight,
+		// and nothing else holds the report yet.
+		if j.res.resp != nil {
+			j.res.resp.Timings.ParseMS = parseMS
+		}
+		return j.res, nil
+	})
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.m.shed.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		s.fail(w, start, http.StatusTooManyRequests, "overloaded",
+			"analysis queue full; retry later", outcomeShed)
+		return
+	case errors.Is(err, errDraining):
+		s.unavailable(w, start)
+		return
+	case err != nil:
+		s.fail(w, start, http.StatusInternalServerError, "internal", err.Error(), outcomeError)
+		return
+	}
+	if shared {
+		s.m.collapsed.Add(1)
+	}
+
+	switch res.status {
+	case http.StatusOK:
+		s.cache.add(key, res.resp)
+		s.respond(w, start, http.StatusOK, res.resp, outcomeOK)
+	case http.StatusGatewayTimeout:
+		// Partial reports are never cached: a longer-deadline retry must
+		// re-run the search.
+		s.respond(w, start, http.StatusGatewayTimeout, res.resp, outcomePartial)
+	case http.StatusServiceUnavailable:
+		s.unavailable(w, start)
+	default:
+		msg := "analysis failed"
+		if res.err != nil {
+			msg = res.err.Error()
+		}
+		s.fail(w, start, http.StatusInternalServerError, "internal", msg, outcomeError)
+	}
+}
+
+// failParse maps parser errors onto protocol errors: oversized sources are
+// 413, structural limits and syntax errors are 422.
+func (s *Server) failParse(w http.ResponseWriter, start time.Time, err error) {
+	var le *gdl.LimitError
+	if errors.As(err, &le) {
+		if le.Limit == gdl.LimitSourceBytes {
+			s.fail(w, start, http.StatusRequestEntityTooLarge, "too_large", le.Error(), outcomeTooLarge)
+			return
+		}
+		s.fail(w, start, http.StatusUnprocessableEntity, "limit_exceeded", le.Error(), outcomeInvalid)
+		return
+	}
+	s.fail(w, start, http.StatusUnprocessableEntity, "parse_error", err.Error(), outcomeInvalid)
+}
+
+func (s *Server) unavailable(w http.ResponseWriter, start time.Time) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	s.fail(w, start, http.StatusServiceUnavailable, "draining", "server is shutting down", outcomeUnavailable)
+}
+
+// respond writes a success (or partial) report and records the outcome. It
+// shallow-copies the report before stamping the per-request total so cached
+// and singleflight-shared reports are never mutated after publication.
+func (s *Server) respond(w http.ResponseWriter, start time.Time, status int, resp *AnalyzeResponse, outcome string) {
+	out := *resp
+	out.Timings.TotalMS = msSince(start)
+	s.m.observe(outcome, time.Since(start))
+	writeJSON(w, status, &out)
+}
+
+// fail writes an ErrorResponse and records the outcome.
+func (s *Server) fail(w http.ResponseWriter, start time.Time, status int, code, msg, outcome string) {
+	s.m.observe(outcome, time.Since(start))
+	er := &ErrorResponse{Error: msg, Code: code}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		er.RetryAfterMS = int(s.cfg.RetryAfter / time.Millisecond)
+	}
+	writeJSON(w, status, er)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// retryAfterSeconds renders a Retry-After header value (whole seconds,
+// minimum 1 — the header has no sub-second form).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -1,0 +1,51 @@
+package server
+
+import "sync"
+
+// group collapses concurrent calls with the same key onto one execution —
+// the hand-rolled core of golang.org/x/sync/singleflight (the repo is
+// stdlib-only). The first caller for a key becomes the leader and runs fn;
+// callers arriving before the leader finishes wait and share its result.
+// Results are not memoized beyond the in-flight window: once the leader
+// returns, the next caller starts a fresh flight (the LRU cache, not the
+// group, provides memoization).
+type group struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg   sync.WaitGroup
+	val  *jobResult
+	err  error
+	dups int // followers that joined this flight
+}
+
+// do executes fn once per in-flight key. follower is true only for callers
+// that joined an existing flight (the leader gets false even when followers
+// joined) — so counting `follower` counts exactly the requests that were
+// collapsed away.
+func (g *group) do(key string, fn func() (*jobResult, error)) (v *jobResult, err error, follower bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

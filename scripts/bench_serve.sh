@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench_serve.sh — run the cexload closed-loop benchmark against an
+# in-process cexd and emit BENCH_serve.json: p50/p95/p99 latency, throughput,
+# and outcome counts at several closed-loop concurrency levels over the
+# Table-1 corpus. EXPERIMENTS.md quotes the numbers.
+#
+# Usage: scripts/bench_serve.sh [levels] [duration] [out]
+#
+#   levels     comma-separated concurrency levels (default 1,4,16)
+#   duration   measurement window per level       (default 10s)
+#   out        output file                        (default BENCH_serve.json)
+#
+# Two runs make up the story:
+#   - the headline run replays the corpus as-is, so after the first lap the
+#     LRU serves most requests (the cache is the point of the daemon);
+#   - pass -unique through CEXLOAD_FLAGS to bust the cache and measure raw
+#     analysis throughput instead:
+#         CEXLOAD_FLAGS=-unique scripts/bench_serve.sh 1,4,16 10s BENCH_serve_unique.json
+set -eu
+cd "$(dirname "$0")/.."
+
+LEVELS="${1:-1,4,16}"
+DURATION="${2:-10s}"
+OUT="${3:-BENCH_serve.json}"
+
+# shellcheck disable=SC2086  # CEXLOAD_FLAGS is intentionally word-split
+go run ./cmd/cexload -selfserve \
+	-levels "$LEVELS" -duration "$DURATION" \
+	-maxconfigs 5000 -deadline-ms 10000 \
+	${CEXLOAD_FLAGS:-} \
+	-out "$OUT"
+
+echo "wrote $OUT" >&2

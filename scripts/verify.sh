@@ -4,6 +4,8 @@
 #   tier 1: go build ./... && go test ./...      (the hard gate; ROADMAP.md)
 #   tier 2: go vet + race detector on the concurrent packages
 #   tier 3: a short native-fuzz smoke of the whole pipeline
+#   tier 4: cexload smoke — the corpus served end to end through an
+#           in-process cexd (server, client, and harness in one pass)
 #
 # Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
 set -eu
@@ -17,9 +19,13 @@ go test ./...
 
 echo "== tier 2: vet + race =="
 go vet ./...
-go test -race ./internal/core/... ./internal/eval/...
+go test -race ./internal/core/... ./internal/eval/... ./internal/server/...
 
 echo "== tier 3: fuzz smoke (${FUZZTIME}) =="
 go test -run='^$' -fuzz=FuzzFindAll -fuzztime="$FUZZTIME" ./internal/core/
+go test -run='^$' -fuzz=FuzzParseLimited -fuzztime=5s ./internal/gdl/
+
+echo "== tier 4: cexload smoke (selfserve, one corpus pass) =="
+go run ./cmd/cexload -selfserve -smoke -levels 4 -maxconfigs 5000 -deadline-ms 5000 -out /dev/null
 
 echo "verify: OK"
