@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"lrcex/internal/faults"
 	"lrcex/internal/gdl"
 	"lrcex/internal/server"
 )
@@ -42,6 +43,9 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 0, "largest deadline a request may ask for (0 = 2m)")
 		retryAfter   = flag.Duration("retry-after", 0, "Retry-After hint on 429/503 (0 = 1s)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight analyses")
+		maxBody      = flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = max-source-bytes + 64 KiB)")
+		wdGrace      = flag.Duration("watchdog-grace", 0, "extra time past its deadline before an analysis is abandoned with 500 (0 = 30s)")
+		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. \"seed=42;all=0.05\" (default: LRCEX_FAULTS; empty = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -50,6 +54,13 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "cexd: ", log.LstdFlags|log.Lmicroseconds)
+
+	if err := faults.EnableSpec(*faultSpec); err != nil {
+		logger.Fatalf("%v", err)
+	}
+	if faults.Enabled() {
+		logger.Printf("fault injection armed: %s", *faultSpec)
+	}
 
 	s := server.New(server.Config{
 		Workers:      *workers,
@@ -63,6 +74,9 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		RetryAfter:      *retryAfter,
+		MaxBodyBytes:    *maxBody,
+		WatchdogGrace:   *wdGrace,
+		Logger:          logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -29,6 +29,7 @@ import (
 	"lrcex/internal/core"
 	"lrcex/internal/corpus"
 	"lrcex/internal/eval"
+	"lrcex/internal/faults"
 	"lrcex/internal/profiling"
 )
 
@@ -57,6 +58,11 @@ func main() {
 	search := cliflags.RegisterSearch(flag.CommandLine)
 	flag.Parse()
 	showStats = search.Stats
+
+	if err := faults.EnableSpec(search.Faults); err != nil {
+		fmt.Fprintln(os.Stderr, "cexeval:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"lrcex"
 	"lrcex/internal/cliflags"
 	"lrcex/internal/corpus"
+	"lrcex/internal/faults"
 	"lrcex/internal/profiling"
 )
 
@@ -34,6 +35,11 @@ func main() {
 	// cexeval via internal/cliflags so the two tools stay uniform.
 	search := cliflags.RegisterSearch(flag.CommandLine)
 	flag.Parse()
+
+	if err := faults.EnableSpec(search.Faults); err != nil {
+		fmt.Fprintln(os.Stderr, "cexgen:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

@@ -35,10 +35,17 @@ type Search struct {
 	// MaxConfigs bounds configurations expanded per conflict (-maxconfigs;
 	// 0 = unlimited). Deterministic, unlike the wall-clock limits.
 	MaxConfigs int
+	// MaxArenaBytes bounds search-owned memory per conflict (-maxarena;
+	// 0 = unlimited). Over budget the conflict degrades to a nonunifying
+	// example. Deterministic like MaxConfigs.
+	MaxArenaBytes int64
 	// FIFOFrontier selects the bucket-queue frontier (-fifofrontier).
 	FIFOFrontier bool
 	// Stats asks the command to print search statistics (-stats).
 	Stats bool
+	// Faults is the fault-injection spec (-faults; also LRCEX_FAULTS).
+	// Empty = injection disabled. The commands arm it via faults.EnableSpec.
+	Faults string
 }
 
 // RegisterSearch registers the shared search flags on fs and returns the
@@ -51,8 +58,10 @@ func RegisterSearch(fs *flag.FlagSet) *Search {
 	fs.IntVar(&s.Parallelism, "j", 0, "conflicts searched in parallel (0 = GOMAXPROCS, 1 = sequential)")
 	fs.BoolVar(&s.ExtendedSearch, "extendedsearch", false, "search beyond the shortest lookahead-sensitive path")
 	fs.IntVar(&s.MaxConfigs, "maxconfigs", 0, "configurations expanded per conflict before giving up (0 = unlimited)")
+	fs.Int64Var(&s.MaxArenaBytes, "maxarena", 0, "search-owned bytes per conflict before degrading to nonunifying (0 = unlimited)")
 	fs.BoolVar(&s.FIFOFrontier, "fifofrontier", false, "use the bucket-queue frontier (equal-cost ties pop FIFO)")
 	fs.BoolVar(&s.Stats, "stats", false, "print search statistics (expansions, dedup hits, memory)")
+	fs.StringVar(&s.Faults, "faults", "", "fault-injection spec, e.g. \"seed=42;all=0.05;core.unify.expand=0.1x3\" (default: LRCEX_FAULTS)")
 	return s
 }
 
@@ -66,6 +75,7 @@ func (s *Search) FinderOptions() core.Options {
 		Parallelism:        s.Parallelism,
 		ExtendedSearch:     s.ExtendedSearch,
 		MaxConfigs:         s.MaxConfigs,
+		MaxArenaBytes:      s.MaxArenaBytes,
 		FIFOFrontier:       s.FIFOFrontier,
 	}
 	if s.NoTimeout {

@@ -32,7 +32,7 @@ func TestParityAcrossRegistrations(t *testing.T) {
 	if !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("flag surfaces differ:\n%v\n%v", sa, sb)
 	}
-	want := []string{"timeout", "cumulative", "notimeout", "j", "extendedsearch", "maxconfigs", "fifofrontier", "stats"}
+	want := []string{"timeout", "cumulative", "notimeout", "j", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults"}
 	for _, name := range want {
 		if _, ok := sa[name]; !ok {
 			t.Errorf("flag -%s not registered", name)
@@ -56,6 +56,7 @@ func TestParityWithAnalyzeOptions(t *testing.T) {
 		"j":              "parallelism",
 		"extendedsearch": "extended_search",
 		"maxconfigs":     "max_configs",
+		"maxarena":       "max_arena_bytes",
 		"fifofrontier":   "fifo_frontier",
 	}
 
@@ -96,7 +97,7 @@ func TestParityWithAnalyzeOptions(t *testing.T) {
 func TestFinderOptionsMapping(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	s := RegisterSearch(fs)
-	if err := fs.Parse([]string{"-timeout", "7s", "-cumulative", "3m", "-j", "3", "-extendedsearch", "-maxconfigs", "123", "-fifofrontier"}); err != nil {
+	if err := fs.Parse([]string{"-timeout", "7s", "-cumulative", "3m", "-j", "3", "-extendedsearch", "-maxconfigs", "123", "-maxarena", "4096", "-fifofrontier"}); err != nil {
 		t.Fatal(err)
 	}
 	got := s.FinderOptions()
@@ -106,6 +107,7 @@ func TestFinderOptionsMapping(t *testing.T) {
 		Parallelism:        3,
 		ExtendedSearch:     true,
 		MaxConfigs:         123,
+		MaxArenaBytes:      4096,
 		FIFOFrontier:       true,
 	}
 	if got != want {
@@ -134,7 +136,8 @@ func TestDefaultsMatchPaper(t *testing.T) {
 	if s.Timeout != 5*time.Second || s.Cumulative != 2*time.Minute {
 		t.Fatalf("defaults = (%v, %v), want (5s, 2m)", s.Timeout, s.Cumulative)
 	}
-	if s.NoTimeout || s.ExtendedSearch || s.FIFOFrontier || s.Stats || s.MaxConfigs != 0 || s.Parallelism != 0 {
+	if s.NoTimeout || s.ExtendedSearch || s.FIFOFrontier || s.Stats || s.MaxConfigs != 0 || s.Parallelism != 0 ||
+		s.MaxArenaBytes != 0 || s.Faults != "" {
 		t.Fatalf("non-zero default in %+v", s)
 	}
 }

@@ -1,5 +1,7 @@
 package core
 
+import "lrcex/internal/faults"
+
 // Arena allocation for the unifying search. Every object the search creates —
 // cons cells, derivation trees, children slices, configurations — dies with
 // the search (the winning derivation is deep-copied out, see cloneDeriv), so
@@ -22,9 +24,13 @@ type arena[T any] struct {
 }
 
 // alloc returns a pointer to an uninitialized (possibly recycled) T. Callers
-// must fully assign the object before use.
+// must fully assign the object before use. Block growth carries a faults
+// injection point (simulated allocator failure): it fires only when a fresh
+// block is needed, so the steady-state bump path stays untouched, and with
+// the subsystem disabled the check is a single atomic load per growth.
 func (a *arena[T]) alloc() *T {
 	if a.bi == len(a.blocks) {
+		faults.PanicAt(faults.CoreArenaGrow)
 		a.blocks = append(a.blocks, make([]T, arenaBlock))
 	}
 	b := a.blocks[a.bi]

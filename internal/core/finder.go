@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lrcex/internal/faults"
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
 )
@@ -54,6 +55,16 @@ type Options struct {
 	// the FIFO tie-break is still fully deterministic but may choose a
 	// different — equally minimal — witness for a handful of conflicts.
 	FIFOFrontier bool
+	// MaxArenaBytes bounds the search-owned memory of one conflict's
+	// unifying search (0 = unlimited), measured by the same per-object
+	// accounting SearchStats.AllocBytes reports. A search that would exceed
+	// the budget aborts cleanly and degrades to the nonunifying
+	// counterexample with kind "nonunifying (memory)" — the memory rung of
+	// the degradation ladder, so a pathological grammar can never OOM the
+	// process. Like MaxConfigs (and unlike the wall-clock limits) the budget
+	// is deterministic: allocation totals are a pure function of the grammar
+	// and options.
+	MaxArenaBytes int64
 	// Costs is the action cost model (zero value = DefaultCosts).
 	Costs CostModel
 }
@@ -90,6 +101,15 @@ const (
 	// NonunifyingSkipped: the cumulative budget was spent on earlier
 	// conflicts, so only the nonunifying construction ran.
 	NonunifyingSkipped
+	// NonunifyingMemory: the unifying search would have exceeded
+	// Options.MaxArenaBytes; it aborted cleanly and the nonunifying
+	// counterexample is reported instead.
+	NonunifyingMemory
+	// NonunifyingRecovered: this conflict's search panicked (a search-core
+	// bug or an injected fault); the panic was contained to the conflict and
+	// the nonunifying construction re-ran on fresh memory. Example.Recovered
+	// carries the typed panic.
+	NonunifyingRecovered
 )
 
 func (k ExampleKind) String() string {
@@ -102,6 +122,10 @@ func (k ExampleKind) String() string {
 		return "nonunifying (timeout)"
 	case NonunifyingSkipped:
 		return "nonunifying (skipped)"
+	case NonunifyingMemory:
+		return "nonunifying (memory)"
+	case NonunifyingRecovered:
+		return "nonunifying (recovered)"
 	default:
 		return fmt.Sprintf("ExampleKind(%d)", int(k))
 	}
@@ -141,6 +165,37 @@ type Example struct {
 	// frontier traffic and allocation footprint plus the breadth-first path
 	// searches' expansions.
 	Stats SearchStats
+
+	// Recovered is non-nil when Kind is NonunifyingRecovered: the typed
+	// panic (conflict identity, panic value, stack) the degradation ladder
+	// contained while producing this example.
+	Recovered *ErrSearchPanic
+}
+
+// ErrSearchPanic is a panic raised inside one conflict's search, converted to
+// a typed error by the finder's recovery rung. It identifies the conflict
+// (state + conflict symbol), preserves the panic value, and carries the stack
+// of the panicking goroutine. The finder degrades the affected conflict to
+// the nonunifying construction and leaves every other conflict untouched;
+// ErrSearchPanic only surfaces as a returned error when even the degraded
+// retry panics.
+type ErrSearchPanic struct {
+	State int         // conflict state
+	Sym   grammar.Sym // conflict symbol
+	Value any         // the recovered panic value
+	Stack []byte      // stack of the panicking goroutine
+}
+
+func (e *ErrSearchPanic) Error() string {
+	return fmt.Sprintf("core: search panicked on conflict in state %d: %v", e.State, e.Value)
+}
+
+// DegradedCounts tallies the degradation-ladder outcomes of one Finder:
+// searches that panicked and were recovered, and searches aborted at the
+// memory budget. Safe snapshot via Finder.Degraded.
+type DegradedCounts struct {
+	Recovered    int64 // conflicts degraded after a contained panic
+	MemoryAborts int64 // conflicts degraded at the MaxArenaBytes budget
 }
 
 // timeBank is the shared cumulative budget of Section 6 (the 2-minute limit),
@@ -248,10 +303,23 @@ type Finder struct {
 	statsMu sync.Mutex
 	stats   SearchStats
 
+	// Degradation-ladder tallies (atomic: workers update them concurrently).
+	recovered    atomic.Int64
+	memoryAborts atomic.Int64
+
 	// scPool recycles scratch (and its arenas) across Find/FindContext
 	// calls; FindAllContext workers hold a scratch each for their whole run
 	// instead.
 	scPool sync.Pool
+}
+
+// Degraded returns the degradation-ladder tallies across every conflict this
+// Finder has processed. Safe for concurrent use.
+func (f *Finder) Degraded() DegradedCounts {
+	return DegradedCounts{
+		Recovered:    f.recovered.Load(),
+		MemoryAborts: f.memoryAborts.Load(),
+	}
 }
 
 // Stats returns the running totals of search work across every conflict this
@@ -385,12 +453,72 @@ func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, erro
 	return f.find(ctx, c, sc)
 }
 
-// find constructs a counterexample for one conflict: first the shortest
-// lookahead-sensitive path (Section 4), then — within the time budget — the
-// unifying search (Section 5), falling back to the nonunifying counterexample
-// assembled from the path. All searches poll ctx; the per-conflict time limit
-// is a deadline context derived from it.
+// find constructs a counterexample for one conflict, running the search
+// under the panic-containment rung of the degradation ladder: the attempt
+// runs under recover(), and a panic — a search-core bug or an injected
+// fault — degrades this one conflict to the nonunifying construction on
+// fresh memory (kind NonunifyingRecovered) while every other conflict
+// proceeds untouched. Only a second panic, during the already-degraded
+// retry, surfaces the typed *ErrSearchPanic as an error.
 func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example, error) {
+	ex, err := f.findGuarded(ctx, c, sc)
+	var sp *ErrSearchPanic
+	if err == nil || !errors.As(err, &sp) {
+		return ex, err
+	}
+
+	// The panic may have unwound mid-mutation: arenas, visited maps, and
+	// BFS scratch are all suspect. Discard the worker's scratch wholesale;
+	// the degraded retry (and every later conflict on this worker) starts
+	// from fresh memory.
+	f.recovered.Add(1)
+	*sc = scratch{}
+
+	ex, err = f.findDegraded(ctx, c, sc, sp)
+	if err != nil {
+		return nil, err
+	}
+	return ex, nil
+}
+
+// findGuarded is one search attempt with panics converted to *ErrSearchPanic.
+func (f *Finder) findGuarded(ctx context.Context, c lr.Conflict, sc *scratch) (ex *Example, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex = nil
+			err = &ErrSearchPanic{State: c.State, Sym: c.Sym, Value: r, Stack: faults.Stack()}
+		}
+	}()
+	return f.search(ctx, c, sc, true)
+}
+
+// findDegraded re-runs only the nonunifying construction after a contained
+// panic. It too runs under recover(): if even the degraded path panics the
+// original typed error is returned and the caller decides (for FindAll that
+// aborts the batch — the grammar, not one conflict, is then suspect).
+func (f *Finder) findDegraded(ctx context.Context, c lr.Conflict, sc *scratch, sp *ErrSearchPanic) (ex *Example, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ex, err = nil, sp
+		}
+	}()
+	ex, err = f.search(ctx, c, sc, false)
+	if err != nil {
+		return nil, err
+	}
+	ex.Kind = NonunifyingRecovered
+	ex.Recovered = sp
+	return ex, nil
+}
+
+// search constructs a counterexample for one conflict: first the shortest
+// lookahead-sensitive path (Section 4), then — within the time budget, when
+// runUnify allows — the unifying search (Section 5), falling back to the
+// nonunifying counterexample assembled from the path. All searches poll ctx;
+// the per-conflict time limit is a deadline context derived from it.
+// runUnify=false is the degraded mode of the recovery ladder: only the path
+// searches and the nonunifying construction run (the caller stamps the kind).
+func (f *Finder) search(ctx context.Context, c lr.Conflict, sc *scratch, runUnify bool) (*Example, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -409,7 +537,7 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 
 	ex := &Example{Conflict: c}
 
-	if !f.bank.exhausted() {
+	if runUnify && !f.bank.exhausted() {
 		var allowed []bool
 		if !f.opts.ExtendedSearch {
 			allowed = sc.allowedStates(len(a.States), path.states(f.g))
@@ -420,7 +548,7 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 			searchCtx, cancel = context.WithDeadline(ctx, start.Add(f.opts.PerConflictTimeout))
 			defer cancel()
 		}
-		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, f.opts.MaxConfigs, &sc.mem, f.opts.FIFOFrontier)
+		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, f.opts.MaxConfigs, f.opts.MaxArenaBytes, &sc.mem, f.opts.FIFOFrontier)
 		res := search.run(searchCtx)
 		ex.Expanded = search.Expanded
 		ex.Stats = search.stats()
@@ -442,9 +570,15 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 			f.addStats(ex.Stats)
 			return ex, nil
 		}
-		if search.Cancelled || search.Capped {
+		switch {
+		case search.MemCapped:
+			// The memory rung: the search would have exceeded the arena
+			// budget; degrade to the nonunifying construction below.
+			f.memoryAborts.Add(1)
+			ex.Kind = NonunifyingMemory
+		case search.Cancelled || search.Capped:
 			ex.Kind = NonunifyingTimeout
-		} else {
+		default:
 			ex.Kind = NonunifyingExhausted
 		}
 	} else {

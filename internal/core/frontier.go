@@ -1,5 +1,7 @@
 package core
 
+import "lrcex/internal/faults"
+
 // The frontier and visited set of the unifying search.
 //
 // Two frontier implementations share the frontier interface:
@@ -240,11 +242,16 @@ func (v *visitedTable) lookup(h uint64, c *config) bool {
 }
 
 // record remembers c under hash h (the caller has established via lookup
-// that no structurally equal configuration is present).
+// that no structurally equal configuration is present). Entry-arena growth
+// carries a faults injection point (simulated table corruption); like the
+// object arenas, the steady-state append path is untouched.
 func (v *visitedTable) record(h uint64, c *config) {
 	head, ok := v.m[h]
 	if !ok {
 		head = -1
+	}
+	if len(v.entries) == cap(v.entries) {
+		faults.PanicAt(faults.CoreVisitedGrow)
 	}
 	v.entries = append(v.entries, visEntry{c: c, next: head})
 	v.m[h] = int32(len(v.entries)) - 1

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"lrcex/internal/faults"
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
 )
@@ -197,6 +198,7 @@ type unifySearch struct {
 	allowedState []bool
 
 	maxConfigs int
+	maxArena   int64
 
 	mem      *searchMem
 	frontier frontier
@@ -210,19 +212,24 @@ type unifySearch struct {
 	// inspecting its parent context).
 	Cancelled bool
 	Capped    bool
+	// MemCapped is set when the search aborted at the MaxArenaBytes budget
+	// (checked between expansions against the same accounting AllocBytes
+	// reports, so the budget — like MaxConfigs — is deterministic).
+	MemCapped bool
 }
 
 // newUnifySearch prepares a search over mem, which is reset here and must
 // not be shared with a concurrently running search. fifo selects the
 // bucket-queue frontier; the default is the heap replica (see frontier.go
 // for the tie-break consequences).
-func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, maxConfigs int, mem *searchMem, fifo bool) *unifySearch {
+func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []bool, maxConfigs int, maxArena int64, mem *searchMem, fifo bool) *unifySearch {
 	mem.resetSearch(costs.maxStep(), fifo)
 	u := &unifySearch{
 		g: g, costs: costs, c: c,
 		tIdx:         g.a.G.TermIndex(c.Sym),
 		allowedState: allowedState,
 		maxConfigs:   maxConfigs,
+		maxArena:     maxArena,
 		mem:          mem,
 	}
 	if fifo {
@@ -292,6 +299,16 @@ func (u *unifySearch) run(ctx context.Context) *unifyResult {
 			u.Capped = true
 			return nil
 		}
+		// The arena budget (Options.MaxArenaBytes) aborts the search before
+		// the expansion that would run past it: allocation is monotone, so a
+		// search already at most one expansion's successors over the limit
+		// stops here and degrades to the nonunifying construction — the
+		// memory rung of the degradation ladder. A search whose footprint is
+		// exactly the budget is still allowed to finish.
+		if u.maxArena > 0 && u.mem.ac.bytes() > u.maxArena {
+			u.MemCapped = true
+			return nil
+		}
 		c := u.frontier.pop()
 		u.Expanded++
 		if res := u.success(c); res != nil {
@@ -335,8 +352,11 @@ func (u *unifySearch) success(c *config) *unifyResult {
 	return &unifyResult{nonterminal: d1.Sym, deriv1: d1, deriv2: d2, dot: c.revTrans}
 }
 
-// expand generates the successor configurations of Figure 10.
+// expand generates the successor configurations of Figure 10. The faults
+// injection point at the top simulates a search-core bug mid-expansion; with
+// the subsystem disabled (the default) it is a single atomic load.
 func (u *unifySearch) expand(c *config) {
+	faults.PanicAt(faults.CoreUnifyExpand)
 	g := u.g
 	a := g.a
 	gr := a.G

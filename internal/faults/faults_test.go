@@ -1,0 +1,189 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// arm installs a schedule and registers cleanup so tests cannot leak an
+// armed configuration into the rest of the package run.
+func arm(t *testing.T, cfg Config) {
+	t.Helper()
+	Enable(cfg)
+	t.Cleanup(Disable)
+}
+
+func TestDisabledFiresNothing(t *testing.T) {
+	Disable()
+	for i := 0; i < 1000; i++ {
+		if Should(CoreUnifyExpand) {
+			t.Fatal("disabled subsystem fired")
+		}
+	}
+	if err := ErrorAt(GDLParse); err != nil {
+		t.Fatalf("disabled ErrorAt returned %v", err)
+	}
+	if Snapshot() != nil {
+		t.Fatal("disabled Snapshot is non-nil")
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	arm(t, Config{Seed: 1, Rates: map[Point]Rate{ServerQueue: {Prob: 1}}})
+	for i := 0; i < 100; i++ {
+		if !Should(ServerQueue) {
+			t.Fatalf("rate-1 point did not fire on evaluation %d", i)
+		}
+	}
+	if Should(ServerCache) {
+		t.Fatal("unarmed point fired")
+	}
+	snap := Snapshot()
+	if c := snap[ServerQueue]; c.Calls != 100 || c.Fired != 100 {
+		t.Fatalf("counts = %+v, want 100/100", c)
+	}
+}
+
+func TestMaxFiringsCap(t *testing.T) {
+	arm(t, Config{Seed: 7, Rates: map[Point]Rate{CoreUnifyExpand: {Prob: 1, Max: 3}}})
+	fired := 0
+	for i := 0; i < 50; i++ {
+		if Should(CoreUnifyExpand) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want exactly 3 (the cap)", fired)
+	}
+}
+
+// TestDeterministicSchedule pins replayability: the same seed and rate yield
+// the same firing pattern over the same evaluation sequence, and a different
+// seed yields a different one.
+func TestDeterministicSchedule(t *testing.T) {
+	pattern := func(seedv int64) []bool {
+		arm(t, Config{Seed: seedv, Rates: map[Point]Rate{GDLParse: {Prob: 0.3}}})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = Should(GDLParse)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at evaluation %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-evaluation patterns")
+	}
+}
+
+// TestRateRoughlyHonored sanity-checks the threshold math: a 0.25 rate over
+// 4000 draws should land within a generous band around 1000.
+func TestRateRoughlyHonored(t *testing.T) {
+	arm(t, Config{Seed: 99, Rates: map[Point]Rate{ServerFlight: {Prob: 0.25}}})
+	fired := 0
+	for i := 0; i < 4000; i++ {
+		if Should(ServerFlight) {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("0.25 rate fired %d/4000 times, want ≈1000", fired)
+	}
+}
+
+func TestErrorAndPanicHelpers(t *testing.T) {
+	arm(t, Config{Seed: 1, Rates: map[Point]Rate{GDLParse: {Prob: 1}, CoreArenaGrow: {Prob: 1}}})
+	err := ErrorAt(GDLParse)
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != GDLParse {
+		t.Fatalf("ErrorAt = %v, want *InjectedError at gdl.parse", err)
+	}
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok || ip.Point != CoreArenaGrow {
+			t.Fatalf("recovered %v, want *InjectedPanic at core.arena.grow", r)
+		}
+	}()
+	PanicAt(CoreArenaGrow)
+	t.Fatal("PanicAt did not panic at rate 1")
+}
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42; all=0.05; core.unify.expand=0.1x3, server.queue=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 {
+		t.Fatalf("seed = %d", cfg.Seed)
+	}
+	if r := cfg.Rates[CoreUnifyExpand]; r.Prob != 0.1 || r.Max != 3 {
+		t.Fatalf("core.unify.expand = %+v, want 0.1x3", r)
+	}
+	if r := cfg.Rates[ServerQueue]; r.Prob != 0 {
+		t.Fatalf("server.queue override = %+v, want 0 (later clause wins)", r)
+	}
+	if r := cfg.Rates[GDLParse]; r.Prob != 0.05 {
+		t.Fatalf("gdl.parse = %+v, want the all=0.05 rate", r)
+	}
+
+	for _, bad := range []string{"nope=0.1", "seed=x", "gdl.parse=2", "gdl.parse=0.1x-1", "gdl.parse"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentEvaluation hammers one armed point from many goroutines under
+// -race; the aggregate fire count must stay within the cap.
+func TestConcurrentEvaluation(t *testing.T) {
+	arm(t, Config{Seed: 5, Rates: map[Point]Rate{CoreVisitedGrow: {Prob: 1, Max: 100}}})
+	var fired int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 1000; i++ {
+				if Should(CoreVisitedGrow) {
+					local++
+				}
+			}
+			mu.Lock()
+			fired += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if fired != 100 {
+		t.Fatalf("fired %d times across goroutines, want exactly 100 (the cap)", fired)
+	}
+}
+
+func TestThresholdEdges(t *testing.T) {
+	// Prob ≥ 1 must map to the always-fire threshold, not overflow.
+	arm(t, Config{Seed: 1, Rates: map[Point]Rate{ServerWorker: {Prob: 1.5}}})
+	if !Should(ServerWorker) {
+		t.Fatal("Prob>1 did not clamp to always-fire")
+	}
+	// Prob 0 clauses are dropped entirely.
+	arm(t, Config{Seed: 1, Rates: map[Point]Rate{ServerWorker: {Prob: 0}}})
+	if Enabled() {
+		t.Fatal("schedule with only zero rates left the subsystem enabled")
+	}
+}

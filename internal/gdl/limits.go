@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+
+	"lrcex/internal/faults"
 )
 
 // Limits bounds how much work Parse may do on untrusted input. The analysis
@@ -57,9 +59,15 @@ func (l Limits) check(name, limit string, max, got int) error {
 
 // ParseLimited is Parse with resource limits enforced: source size before
 // lexing, production count during parsing, distinct-symbol count during
-// resolution. A violated limit yields a *LimitError.
+// resolution. A violated limit yields a *LimitError. The entry carries a
+// faults injection point (simulated parser failure under chaos testing);
+// it fires after the O(1) size check so injected errors still model a
+// parser that accepted the bytes and then failed.
 func ParseLimited(name, src string, lim Limits) (g *Grammar, err error) {
 	if err := lim.check(name, LimitSourceBytes, lim.MaxSourceBytes, len(src)); err != nil {
+		return nil, err
+	}
+	if err := faults.ErrorAt(faults.GDLParse); err != nil {
 		return nil, err
 	}
 	toks, err := lex(name, src)

@@ -52,6 +52,11 @@ type AnalyzeOptions struct {
 	ExtendedSearch bool `json:"extended_search,omitempty"`
 	// MaxConfigs bounds configurations expanded per conflict (0 = unlimited).
 	MaxConfigs int `json:"max_configs,omitempty"`
+	// MaxArenaBytes bounds search-owned memory per conflict (0 = server
+	// default). Over budget, the conflict degrades to a nonunifying
+	// example instead of risking the process. Deterministic (measured by
+	// the search's own byte accounting), so it is part of the cache key.
+	MaxArenaBytes int64 `json:"max_arena_bytes,omitempty"`
 	// FIFOFrontier selects the bucket-queue frontier (different — equally
 	// minimal — witnesses on a handful of equal-cost ties).
 	FIFOFrontier bool `json:"fifo_frontier,omitempty"`
@@ -70,9 +75,9 @@ type AnalyzeOptions struct {
 func (o AnalyzeOptions) optionsKey() string {
 	kinds := append([]string(nil), o.Kinds...)
 	sort.Strings(kinds)
-	return fmt.Sprintf("pc=%d|cum=%d|nt=%t|ext=%t|max=%d|fifo=%t|kinds=%s",
+	return fmt.Sprintf("pc=%d|cum=%d|nt=%t|ext=%t|max=%d|arena=%d|fifo=%t|kinds=%s",
 		o.PerConflictTimeoutMS, o.CumulativeTimeoutMS, o.NoTimeout,
-		o.ExtendedSearch, o.MaxConfigs, o.FIFOFrontier, strings.Join(kinds, ","))
+		o.ExtendedSearch, o.MaxConfigs, o.MaxArenaBytes, o.FIFOFrontier, strings.Join(kinds, ","))
 }
 
 // validate rejects malformed options (unknown kinds, negative numbers).
@@ -83,7 +88,7 @@ func (o AnalyzeOptions) validate() error {
 		}
 	}
 	if o.PerConflictTimeoutMS < 0 || o.CumulativeTimeoutMS < 0 || o.DeadlineMS < 0 ||
-		o.Parallelism < 0 || o.MaxConfigs < 0 {
+		o.Parallelism < 0 || o.MaxConfigs < 0 || o.MaxArenaBytes < 0 {
 		return fmt.Errorf("options must be non-negative (use no_timeout to disable limits)")
 	}
 	return nil
@@ -125,6 +130,9 @@ func (o AnalyzeOptions) finderOptions(base core.Options) core.Options {
 	}
 	if o.MaxConfigs > 0 {
 		opts.MaxConfigs = o.MaxConfigs
+	}
+	if o.MaxArenaBytes > 0 {
+		opts.MaxArenaBytes = o.MaxArenaBytes
 	}
 	opts.ExtendedSearch = o.ExtendedSearch
 	opts.FIFOFrontier = o.FIFOFrontier
@@ -205,6 +213,10 @@ type AnalyzeResponse struct {
 	ConflictCount int  `json:"conflict_count"`
 	Resolved      int  `json:"resolved"` // conflicts settled by precedence
 	Ambiguous     bool `json:"ambiguous"`
+	// Degraded counts conflicts answered below full fidelity: searches
+	// recovered from a panic or capped by the memory budget. Zero in
+	// normal operation.
+	Degraded int `json:"degraded,omitempty"`
 
 	Conflicts []ConflictJSON `json:"conflicts"`
 	Examples  []ExampleJSON  `json:"examples"`
@@ -221,6 +233,9 @@ type ErrorResponse struct {
 	Code string `json:"code"`
 	// RetryAfterMS accompanies overloaded/draining responses.
 	RetryAfterMS int `json:"retry_after_ms,omitempty"`
+	// RequestID accompanies panic 500s so the response can be correlated
+	// with the server's log line and stack trace.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // symsWithDot renders a sentential form with the paper's • marker at dot.
@@ -288,6 +303,8 @@ func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, opts Anal
 	exs, err := finder.FindAllContext(ctx)
 	resp.Timings.SearchMS = msSince(searchStart)
 	resp.Stats = statsJSON(finder.Stats())
+	deg := finder.Degraded()
+	resp.Degraded = int(deg.Recovered + deg.MemoryAborts)
 
 	resp.Examples = make([]ExampleJSON, 0, len(exs))
 	for i, ex := range exs {

@@ -1,0 +1,128 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Circuit breaker for the analysis client. Retry-with-backoff handles the
+// server saying "not now" (429/503 with Retry-After); the breaker handles
+// the server being *broken* — a run of consecutive hard failures (5xx other
+// than the partial-report 504, or transport errors) opens the circuit, and
+// subsequent Analyze calls fail fast with *CircuitOpenError instead of
+// adding load to a struggling service. After a cooldown the breaker goes
+// half-open: exactly one probe request is let through, and its outcome
+// either closes the circuit or re-opens it for another cooldown.
+
+// CircuitOpenError is returned (possibly wrapped in an attempt loop) when
+// the breaker refuses a request. Remaining is the cooldown left before the
+// next probe is allowed (0 when a probe is already in flight).
+type CircuitOpenError struct{ Remaining time.Duration }
+
+func (e *CircuitOpenError) Error() string {
+	if e.Remaining > 0 {
+		return fmt.Sprintf("cexd: circuit open (next probe in %v)", e.Remaining.Round(time.Millisecond))
+	}
+	return "cexd: circuit open (probe in flight)"
+}
+
+const (
+	bkClosed = iota
+	bkOpen
+	bkHalfOpen
+)
+
+// breaker is a consecutive-failure circuit breaker. All methods are safe for
+// concurrent use.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the circuit (<=0 disables)
+	cooldown  time.Duration // open duration before the half-open probe
+	now       func() time.Time
+
+	state    int
+	failures int       // consecutive qualifying failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // half-open: the single probe slot is taken
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a request may proceed. In the open state it returns
+// *CircuitOpenError with the remaining cooldown; once the cooldown elapses
+// it admits exactly one probe (half-open) and rejects the rest until that
+// probe's outcome is recorded.
+func (b *breaker) allow() error {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return nil
+	case bkOpen:
+		if remaining := b.cooldown - b.now().Sub(b.openedAt); remaining > 0 {
+			return &CircuitOpenError{Remaining: remaining}
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		return nil
+	default: // bkHalfOpen
+		if b.probing {
+			return &CircuitOpenError{}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record reports the outcome of a request admitted by allow. failure means a
+// qualifying hard failure (5xx other than 504, or a transport error).
+func (b *breaker) record(failure bool) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkHalfOpen:
+		b.probing = false
+		if failure {
+			// The probe failed: back to open for another full cooldown.
+			b.state = bkOpen
+			b.openedAt = b.now()
+			return
+		}
+		b.state = bkClosed
+		b.failures = 0
+	default:
+		if !failure {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = bkOpen
+			b.openedAt = b.now()
+		}
+	}
+}
+
+// hardFailure classifies an Analyze attempt outcome for the breaker:
+// transport errors and 5xx responses other than the partial-report 504
+// qualify; clean responses, 4xx (the server is healthy, the request was
+// bad), and 504 partials (the server produced a valid report) do not.
+func hardFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var he *HTTPError
+	if asHTTPError(err, &he) {
+		return he.Status >= 500 && he.Status != 504
+	}
+	return true // transport-level failure
+}

@@ -1,0 +1,183 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lrcex/internal/server"
+)
+
+// fakeClock is an adjustable time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func testBreaker(th int, cd time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(th, cd)
+	c := newFakeClock()
+	b.now = c.now
+	return b, c
+}
+
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-5", 0},                // negative delta: no hint
+		{"soon", 0},              // unparseable: no hint
+		{"86400", maxRetryAfter}, // absurd delta clamps
+		{now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{now.Add(-time.Hour).Format(http.TimeFormat), 0},                // past date: no wait
+		{now.Add(2 * time.Hour).Format(http.TimeFormat), maxRetryAfter}, // absurd date clamps
+	}
+	for _, c := range cases {
+		if got := parseRetryAfterAt(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfterAt(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker refused request %d: %v", i, err)
+		}
+		b.record(true)
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker opened one failure early: %v", err)
+	}
+	b.record(true) // third consecutive failure: opens
+	err := b.allow()
+	var coe *CircuitOpenError
+	if !errors.As(err, &coe) {
+		t.Fatalf("allow after threshold = %v, want *CircuitOpenError", err)
+	}
+	if coe.Remaining <= 0 || coe.Remaining > time.Minute {
+		t.Fatalf("Remaining = %v, want within (0, 1m]", coe.Remaining)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	for i := 0; i < 10; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("breaker opened despite interleaved successes: %v", err)
+		}
+		b.record(i%2 == 0) // never 3 consecutive failures
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	if err := b.allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.record(true) // opens immediately (threshold 1)
+	if err := b.allow(); err == nil {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	clk.advance(61 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	// Only one probe flies at a time.
+	err := b.allow()
+	var coe *CircuitOpenError
+	if !errors.As(err, &coe) || coe.Remaining != 0 {
+		t.Fatalf("second request during probe = %v, want probe-in-flight *CircuitOpenError", err)
+	}
+	b.record(false) // probe succeeded: closed again
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker did not close after successful probe: %v", err)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := testBreaker(1, time.Minute)
+	b.allow()
+	b.record(true)
+	clk.advance(61 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.record(true) // probe failed: back to open for a full cooldown
+	var coe *CircuitOpenError
+	if err := b.allow(); !errors.As(err, &coe) || coe.Remaining <= 0 {
+		t.Fatalf("breaker not re-opened after failed probe: %v", err)
+	}
+	clk.advance(61 * time.Second)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe refused after second cooldown: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b, _ := testBreaker(0, time.Minute)
+	for i := 0; i < 100; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("disabled breaker refused a request: %v", err)
+		}
+		b.record(true)
+	}
+}
+
+func TestHardFailureClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&HTTPError{Status: 500}, true},
+		{&HTTPError{Status: 502}, true},
+		{&HTTPError{Status: 503}, true},
+		{&HTTPError{Status: 504}, false}, // partial report: server answered
+		{&HTTPError{Status: 429}, false}, // shedding is the server working
+		{&HTTPError{Status: 422}, false},
+		{errors.New("dial tcp: connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := hardFailure(c.err); got != c.want {
+			t.Errorf("hardFailure(%v) = %t, want %t", c.err, got, c.want)
+		}
+	}
+}
+
+// TestBreakerTripsClient drives the breaker through Analyze: consecutive
+// 500s open the circuit, after which calls fail fast with *CircuitOpenError
+// without touching the wire.
+func TestBreakerTripsClient(t *testing.T) {
+	resp500 := jsonError(http.StatusInternalServerError, "internal", "boom", "")
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){resp500, resp500}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetries(0), WithBreaker(2, time.Hour))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		_, err := c.Analyze(ctx, &server.AnalyzeRequest{Grammar: figure1})
+		he, ok := err.(*HTTPError)
+		if !ok || he.Status != http.StatusInternalServerError {
+			t.Fatalf("call %d: err = %v, want 500 *HTTPError", i, err)
+		}
+	}
+	_, err := c.Analyze(ctx, &server.AnalyzeRequest{Grammar: figure1})
+	var coe *CircuitOpenError
+	if !errors.As(err, &coe) {
+		t.Fatalf("err = %v, want *CircuitOpenError once the circuit opened", err)
+	}
+	if got := fs.calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (third failed fast)", got)
+	}
+}

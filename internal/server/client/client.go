@@ -49,6 +49,7 @@ type Client struct {
 	backoff time.Duration
 	maxWait time.Duration
 	rng     *rand.Rand
+	brk     *breaker
 }
 
 // Option configures a Client.
@@ -67,6 +68,14 @@ func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
 // wait when larger).
 func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
 
+// WithBreaker tunes the circuit breaker: threshold consecutive hard failures
+// (5xx other than 504-partial, or transport errors) open the circuit for
+// cooldown before a half-open probe. threshold <= 0 disables the breaker.
+// Default: 8 failures, 10s cooldown.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) { c.brk = newBreaker(threshold, cooldown) }
+}
+
 // New returns a client for the service at baseURL (e.g.
 // "http://127.0.0.1:8372").
 func New(baseURL string, opts ...Option) *Client {
@@ -77,6 +86,7 @@ func New(baseURL string, opts ...Option) *Client {
 		backoff: 100 * time.Millisecond,
 		maxWait: 5 * time.Second,
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		brk:     newBreaker(8, 10*time.Second),
 	}
 	for _, o := range opts {
 		o(c)
@@ -89,6 +99,12 @@ func New(baseURL string, opts ...Option) *Client {
 // *HTTPError with Status 504 so callers can use what was found; every other
 // non-2xx response returns a nil report. Shed (429) and draining (503)
 // responses are retried with backoff before giving up.
+//
+// The circuit breaker composes with the retry loop: while the circuit is
+// open, attempts don't reach the wire — if retries remain, the client waits
+// out max(backoff, remaining cooldown) and tries again (the breaker may
+// admit a half-open probe by then); when retries are exhausted the
+// *CircuitOpenError itself is returned, carrying the remaining cooldown.
 func (c *Client) Analyze(ctx context.Context, req *server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -96,7 +112,27 @@ func (c *Client) Analyze(ctx context.Context, req *server.AnalyzeRequest) (*serv
 	}
 	var last error
 	for attempt := 0; ; attempt++ {
+		if berr := c.brk.allow(); berr != nil {
+			if attempt >= c.retries {
+				return nil, berr
+			}
+			coe := berr.(*CircuitOpenError)
+			wait := c.backoffFor(attempt, coe.Remaining)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			continue
+		}
 		resp, herr := c.post(ctx, "/v1/analyze", body)
+		// Client-side cancellation says nothing about server health: release
+		// the breaker slot without counting a failure.
+		if herr != nil && ctx.Err() != nil {
+			c.brk.record(false)
+			return nil, ctx.Err()
+		}
+		c.brk.record(hardFailure(herr))
 		if herr == nil {
 			return resp, nil
 		}
@@ -227,12 +263,41 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 	return string(raw), nil
 }
 
+// maxRetryAfter clamps the server's Retry-After hint: a misconfigured (or
+// hostile) server must not be able to park a client for an hour with one
+// header. The backoff loop still applies its own cap on top.
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter parses both RFC 9110 forms of Retry-After — delta-seconds
+// ("120") and HTTP-date ("Fri, 31 Dec 1999 23:59:59 GMT") — clamping the
+// result to [0, maxRetryAfter]. Unparseable values are 0 (no hint).
 func parseRetryAfter(v string) time.Duration {
+	return parseRetryAfterAt(v, time.Now())
+}
+
+// parseRetryAfterAt is parseRetryAfter against an explicit clock (tests pin
+// the HTTP-date arithmetic with it).
+func parseRetryAfterAt(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
 	if v == "" {
 		return 0
 	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(v); err == nil {
+		d = t.Sub(now)
+		if d < 0 {
+			return 0
+		}
+	} else {
+		return 0
 	}
-	return 0
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// healthTracker drives the /healthz "degraded" state: a sliding window of
+// per-second buckets counting analyze requests, load sheds, recovered worker
+// panics, and watchdog stalls. Degradation is advisory — the endpoint still
+// answers 200 so orchestrators don't kill a server that is shedding load
+// correctly — but the body names the reasons so operators and load balancers
+// can steer traffic away.
+const (
+	healthWindowSecs = 60
+	// healthMinRequests is the minimum analyze traffic in the window before
+	// the shed *rate* can mark the server degraded (absolute panic/stall
+	// counts always can). Keeps a single early 429 from flapping health.
+	healthMinRequests = 20
+	// healthShedFrac is the shed fraction over the window that reports
+	// degradation.
+	healthShedFrac = 0.3
+)
+
+type healthBucket struct {
+	sec      int64 // unix second this bucket currently represents
+	requests int64
+	sheds    int64
+	panics   int64
+	stalls   int64
+}
+
+type healthTracker struct {
+	mu      sync.Mutex
+	buckets [healthWindowSecs]healthBucket
+	now     func() time.Time // injectable for tests
+}
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{now: time.Now}
+}
+
+// bucket returns the live bucket for the current second, recycling stale
+// slots in place.
+func (h *healthTracker) bucket() *healthBucket {
+	sec := h.now().Unix()
+	b := &h.buckets[sec%healthWindowSecs]
+	if b.sec != sec {
+		*b = healthBucket{sec: sec}
+	}
+	return b
+}
+
+func (h *healthTracker) request() {
+	h.mu.Lock()
+	h.bucket().requests++
+	h.mu.Unlock()
+}
+
+func (h *healthTracker) shed() {
+	h.mu.Lock()
+	h.bucket().sheds++
+	h.mu.Unlock()
+}
+
+func (h *healthTracker) panicked() {
+	h.mu.Lock()
+	h.bucket().panics++
+	h.mu.Unlock()
+}
+
+func (h *healthTracker) stalled() {
+	h.mu.Lock()
+	h.bucket().stalls++
+	h.mu.Unlock()
+}
+
+// totals sums the window. Buckets older than the window are skipped (they
+// belong to a previous lap of the ring).
+func (h *healthTracker) totals() (requests, sheds, panics, stalls int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	min := h.now().Unix() - healthWindowSecs + 1
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		if b.sec < min {
+			continue
+		}
+		requests += b.requests
+		sheds += b.sheds
+		panics += b.panics
+		stalls += b.stalls
+	}
+	return
+}
+
+// degradedReasons returns the active degradation reasons (empty = healthy).
+func (h *healthTracker) degradedReasons() []string {
+	requests, sheds, panics, stalls := h.totals()
+	var reasons []string
+	if panics > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d worker panic(s) recovered in the last %ds", panics, healthWindowSecs))
+	}
+	if stalls > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d watchdog stall(s) in the last %ds", stalls, healthWindowSecs))
+	}
+	if requests >= healthMinRequests {
+		if frac := float64(sheds) / float64(requests); frac > healthShedFrac {
+			reasons = append(reasons, fmt.Sprintf("shedding %.0f%% of requests over the last %ds", frac*100, healthWindowSecs))
+		}
+	}
+	return reasons
+}

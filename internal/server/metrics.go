@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lrcex/internal/core"
+	"lrcex/internal/faults"
 )
 
 // Request outcomes, the label space of the request counters and latency
@@ -63,6 +64,10 @@ type metrics struct {
 	inflight  atomic.Int64
 	analyses  atomic.Int64 // analyses actually executed (cache + collapse skips excluded)
 
+	panics           atomic.Int64 // panics recovered (workers + handler backstop)
+	stalls           atomic.Int64 // watchdog abandonments
+	degradedSearches atomic.Int64 // conflicts answered degraded (recovered/memory)
+
 	searchExpanded     atomic.Int64
 	searchPushed       atomic.Int64
 	searchDedup        atomic.Int64
@@ -107,7 +112,7 @@ func (m *metrics) addSearchStats(s core.SearchStats) {
 
 // write renders the scrape. queueDepth and cacheLen are sampled gauges the
 // server passes in; hits/misses/evictions come from the cache's counters.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap int, hits, misses, evictions int64) {
+func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap int, hits, misses, evictions, healthState int64) {
 	fmt.Fprintf(w, "# HELP cexd_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE cexd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "cexd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -156,6 +161,12 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap in
 	counter("cexd_cache_evictions_total", "Result cache LRU evictions.", evictions)
 	gauge("cexd_cache_entries", "Result cache entries.", int64(cacheLen))
 	gauge("cexd_cache_capacity", "Result cache capacity.", int64(cacheCap))
+
+	counter("cexd_panics_recovered_total", "Panics recovered by the worker barrier and handler backstop.", m.panics.Load())
+	counter("cexd_watchdog_stalls_total", "Analyses abandoned by the watchdog past deadline + grace.", m.stalls.Load())
+	counter("cexd_search_degraded_total", "Conflicts answered with a degraded (recovered or memory-capped) example.", m.degradedSearches.Load())
+	counter("cexd_faults_injected_total", "Faults fired by the injection subsystem (0 unless armed).", faults.TotalFired())
+	gauge("cexd_health_state", "Health tri-state: 0 ok, 1 degraded, 2 draining.", healthState)
 
 	counter("cexd_analyses_total", "Analyses executed (cache hits and collapsed requests excluded).", m.analyses.Load())
 	counter("cexd_search_expanded_total", "Configurations expanded by the unifying searches.", m.searchExpanded.Load())

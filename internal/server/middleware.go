@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"lrcex/internal/faults"
+)
+
+// Request-ID middleware and the handler-level panic backstop. Every request
+// gets an X-Request-ID (echoed on the response and attached to panic bodies)
+// so a 500 seen by a client can be correlated with the server's log line and
+// stack trace. The backstop is the outermost rung of the service's
+// degradation ladder: worker panics are already contained per job (see run),
+// so anything reaching here is a bug in the handlers themselves — it must
+// still produce a well-formed JSON 500, not a hung or half-written response.
+
+// ridBase decorrelates request IDs across process restarts without needing
+// coordination: a per-process prefix from the clock and pid, plus an atomic
+// sequence number.
+var (
+	ridBase = func() uint64 {
+		x := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+		// splitmix64 finalizer, so consecutive restarts don't share prefixes.
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}()
+	ridSeq atomic.Uint64
+)
+
+type requestIDKey struct{}
+
+// nextRequestID mints a process-unique request ID.
+func nextRequestID() string {
+	return fmt.Sprintf("%08x-%06d", uint32(ridBase), ridSeq.Add(1))
+}
+
+// RequestID returns the request ID the middleware attached to ctx ("" when
+// the request did not pass through the middleware).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusRecorder lets the panic backstop know whether the handler already
+// committed a status line — if it did, the response cannot be rewritten and
+// the middleware settles for closing the connection.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// withRequestID wraps h with the request-ID and panic-recovery middleware.
+func (s *Server) withRequestID(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := nextRequestID()
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			s.m.panics.Add(1)
+			s.health.panicked()
+			s.logf("panic in handler (request %s): %v\n%s", id, p, faults.Stack())
+			if !rec.wrote {
+				writeJSON(rec, http.StatusInternalServerError, &ErrorResponse{
+					Error:     fmt.Sprintf("internal panic (request %s)", id),
+					Code:      "panic",
+					RequestID: id,
+				})
+			}
+		}()
+		h.ServeHTTP(rec, r)
+	})
+}
+
+// logf writes to the configured logger; a nil logger discards.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"lrcex/internal/core"
+	"lrcex/internal/faults"
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
 )
@@ -42,6 +44,19 @@ type Config struct {
 	Finder core.Options
 	// RetryAfter is the hint attached to 429/503 responses (default 1s).
 	RetryAfter time.Duration
+	// MaxBodyBytes caps the HTTP request body at the socket, independent of
+	// the GDL source-byte limit (default Limits.MaxSourceBytes + 64 KiB of
+	// JSON-envelope headroom). Overflow yields 413 with a typed
+	// *RequestTooLargeError before any decoding happens.
+	MaxBodyBytes int64
+	// WatchdogGrace is how long past its deadline an admitted analysis may
+	// run before the watchdog abandons the wait and answers 500 (default
+	// 30s). The stall is counted and degrades /healthz; the stuck worker —
+	// if it ever finishes — publishes into a result nobody reads.
+	WatchdogGrace time.Duration
+	// Logger receives operational events: recovered panics, watchdog
+	// stalls. nil discards.
+	Logger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -72,16 +87,32 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = int64(c.Limits.MaxSourceBytes) + 64*1024
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 30 * time.Second
+	}
 	return c
+}
+
+// RequestTooLargeError reports a request body over Config.MaxBodyBytes. It
+// is typed (rather than a bare string) so the handler and tests agree on the
+// 413 mapping and the limit that produced it.
+type RequestTooLargeError struct{ Limit int64 }
+
+func (e *RequestTooLargeError) Error() string {
+	return fmt.Sprintf("request body exceeds %d bytes", e.Limit)
 }
 
 // Server is the analysis service. Create with New, mount Handler on an
 // http.Server, and call Shutdown to drain.
 type Server struct {
-	cfg   Config
-	cache *resultCache
-	sf    group
-	m     *metrics
+	cfg    Config
+	cache  *resultCache
+	sf     group
+	m      *metrics
+	health *healthTracker
 
 	jobs     chan *job
 	quit     chan struct{}
@@ -118,17 +149,19 @@ type jobResult struct {
 var (
 	errOverloaded = errors.New("server overloaded: queue full")
 	errDraining   = errors.New("server draining")
+	errWatchdog   = errors.New("watchdog: analysis exceeded its deadline plus grace")
 )
 
 // New starts the worker pool and returns the server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: newResultCache(cfg.CacheEntries),
-		m:     newMetrics(),
-		jobs:  make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheEntries),
+		m:      newMetrics(),
+		health: newHealthTracker(),
+		jobs:   make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -158,30 +191,58 @@ func (s *Server) worker() {
 	}
 }
 
-// run executes one job and publishes its result.
+// run executes one job and publishes its result. Publication is in a defer
+// so the done channel closes exactly once on every path, including a worker
+// panic — the panic itself is contained by runGuarded, which turns it into a
+// 500 result instead of killing the worker goroutine (and with it, the
+// pool's capacity).
 func (s *Server) run(j *job) {
+	defer close(j.done)
 	j.queueMS = msSince(j.admitted)
 	if gate := s.testGate; gate != nil {
 		gate()
 	}
-	resp, err := analyze(j.ctx, j.g, j.name, j.fp, j.opts, s.cfg.Finder)
-	res := &jobResult{resp: resp}
-	switch {
-	case err == nil:
-		res.status = http.StatusOK
-		s.m.addSearchStats(coreStats(resp.Stats))
-	case resp != nil && resp.Partial:
-		res.status = http.StatusGatewayTimeout
-		s.m.addSearchStats(coreStats(resp.Stats))
-	default:
-		res.status = http.StatusInternalServerError
-		res.err = err
-	}
+	res := s.runGuarded(j)
 	if res.resp != nil {
 		res.resp.Timings.QueueMS = j.queueMS
 	}
 	j.res = res
-	close(j.done)
+}
+
+// runGuarded runs the analysis under a panic barrier: a panic anywhere in
+// the job — table construction, the search (beyond the Finder's own
+// per-conflict recovery), result assembly, or an injected server.worker
+// fault — becomes a 500 jobResult carrying the panic value, and the worker
+// survives to take the next job.
+func (s *Server) runGuarded(j *job) (res *jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Add(1)
+			s.health.panicked()
+			s.logf("worker panic on %q: %v\n%s", j.name, r, faults.Stack())
+			res = &jobResult{
+				status: http.StatusInternalServerError,
+				err:    fmt.Errorf("worker panic: %v", r),
+			}
+		}
+	}()
+	faults.PanicAt(faults.ServerWorker)
+	resp, err := analyze(j.ctx, j.g, j.name, j.fp, j.opts, s.cfg.Finder)
+	res = &jobResult{resp: resp}
+	switch {
+	case err == nil:
+		res.status = http.StatusOK
+		s.m.addSearchStats(coreStats(resp.Stats))
+		s.m.degradedSearches.Add(int64(resp.Degraded))
+	case resp != nil && resp.Partial:
+		res.status = http.StatusGatewayTimeout
+		s.m.addSearchStats(coreStats(resp.Stats))
+		s.m.degradedSearches.Add(int64(resp.Degraded))
+	default:
+		res.status = http.StatusInternalServerError
+		res.err = err
+	}
+	return res
 }
 
 func coreStats(s StatsJSON) core.SearchStats {
@@ -200,6 +261,11 @@ func coreStats(s StatsJSON) core.SearchStats {
 func (s *Server) submit(j *job) error {
 	if s.draining.Load() {
 		return errDraining
+	}
+	// Injected queue failure: the submission sheds exactly like a full
+	// queue, exercising the 429 path under chaos schedules.
+	if faults.Should(faults.ServerQueue) {
+		return errOverloaded
 	}
 	select {
 	case s.jobs <- j:
@@ -253,28 +319,49 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.withRequestID(mux)
 }
 
+// handleHealthz reports liveness with three states: "ok", "degraded" (still
+// 200 — the server is up and shedding or recovering correctly, but the body
+// names what's wrong so operators can steer traffic), and "draining" (503,
+// shutdown has begun).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
+	if reasons := s.health.degradedReasons(); len(reasons) > 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "reasons": reasons})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// healthState renders the health tri-state as a metric gauge value.
+func (s *Server) healthState() int64 {
+	switch {
+	case s.draining.Load():
+		return 2
+	case len(s.health.degradedReasons()) > 0:
+		return 1
+	default:
+		return 0
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, evictions := s.cache.counters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.write(w, len(s.jobs), cap(s.jobs), s.cache.len(), s.cfg.CacheEntries, hits, misses, evictions)
+	s.m.write(w, len(s.jobs), cap(s.jobs), s.cache.len(), s.cfg.CacheEntries, hits, misses, evictions, s.healthState())
 }
 
 // handleAnalyze is the hot path: decode → fingerprint → cache → parse →
 // singleflight → bounded queue → search → respond.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	s.health.request()
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.fail(w, start, http.StatusMethodNotAllowed, "method_not_allowed", "POST only", outcomeError)
@@ -285,15 +372,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The JSON body wraps the grammar source; cap it at the source limit
-	// plus headroom for the envelope so oversized bodies die at the socket.
-	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.Limits.MaxSourceBytes)+64*1024)
+	// The JSON body wraps the grammar source; cap it at MaxBodyBytes
+	// (independent of — and defaulting to headroom over — the GDL source
+	// limit) so oversized bodies die at the socket before any decoding.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req AnalyzeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			s.fail(w, start, http.StatusRequestEntityTooLarge, "too_large",
-				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit), outcomeTooLarge)
+			te := &RequestTooLargeError{Limit: tooLarge.Limit}
+			s.fail(w, start, http.StatusRequestEntityTooLarge, "too_large", te.Error(), outcomeTooLarge)
 			return
 		}
 		s.fail(w, start, http.StatusUnprocessableEntity, "invalid_json", "malformed JSON body: "+err.Error(), outcomeInvalid)
@@ -321,10 +409,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fp + "|" + req.Options.optionsKey()
 	if cached, ok := s.cache.get(key); ok {
-		resp := *cached // shallow copy: slices are shared, immutable
-		resp.Cached = true
-		s.respond(w, start, http.StatusOK, &resp, outcomeCacheHit)
-		return
+		// Injected cache-node loss: the hit is discarded and the analysis
+		// re-runs, exercising the miss path's correctness under chaos.
+		if !faults.Should(faults.ServerCache) {
+			resp := *cached // shallow copy: slices are shared, immutable
+			resp.Cached = true
+			s.respond(w, start, http.StatusOK, &resp, outcomeCacheHit)
+			return
+		}
 	}
 
 	parseStart := time.Now()
@@ -351,6 +443,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// leader disconnect cannot poison followers; the deadline still bounds
 	// it, and queue wait spends from the same budget.
 	res, err, shared := s.sf.do(key, func() (*jobResult, error) {
+		// Injected downstream failure inside the singleflight leader: the
+		// whole flight errors (leader and followers all see the 500).
+		if err := faults.ErrorAt(faults.ServerFlight); err != nil {
+			return nil, err
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), deadline)
 		defer cancel()
 		j := &job{
@@ -360,7 +457,20 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err := s.submit(j); err != nil {
 			return nil, err
 		}
-		<-j.done
+		// Watchdog: the worker should answer within the deadline (context
+		// cancellation propagates into the search) plus scheduling slack. If
+		// it doesn't, something is wedged below us — stop holding the client
+		// hostage, answer 500, count the stall, degrade health.
+		wd := time.NewTimer(deadline + s.cfg.WatchdogGrace)
+		defer wd.Stop()
+		select {
+		case <-j.done:
+		case <-wd.C:
+			s.m.stalls.Add(1)
+			s.health.stalled()
+			s.logf("watchdog: analysis of %q still running %v past its deadline; abandoning", name, s.cfg.WatchdogGrace)
+			return nil, errWatchdog
+		}
 		// Safe to mutate here: followers are still blocked on the flight,
 		// and nothing else holds the report yet.
 		if j.res.resp != nil {
@@ -371,6 +481,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.m.shed.Add(1)
+		s.health.shed()
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		s.fail(w, start, http.StatusTooManyRequests, "overloaded",
 			"analysis queue full; retry later", outcomeShed)

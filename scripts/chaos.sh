@@ -1,0 +1,29 @@
+#!/bin/sh
+# chaos.sh — run the cexchaos campaign (the Table-1 corpus through an
+# in-process cexd under a seeded fault schedule) and emit BENCH_chaos.json:
+# outcome counts, per-point fault tallies, degraded-search totals, GLR
+# validation counts, and latency percentiles. EXPERIMENTS.md quotes the
+# numbers. A nonzero exit means an invariant broke (process death, malformed
+# response, or an oracle-invalid counterexample) — the report is still
+# written for the post-mortem.
+#
+# Usage: scripts/chaos.sh [seed] [rate] [passes] [out]
+#
+#   seed     fault-schedule seed (default 42; same seed = same schedule)
+#   rate     per-point firing probability (default 0.05)
+#   passes   corpus laps (default 3)
+#   out      output file (default BENCH_chaos.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+SEED="${1:-42}"
+RATE="${2:-0.05}"
+PASSES="${3:-3}"
+OUT="${4:-BENCH_chaos.json}"
+
+go run ./cmd/cexchaos \
+	-seed "$SEED" -rate "$RATE" -passes "$PASSES" \
+	-maxconfigs 20000 -deadline-ms 10000 \
+	-out "$OUT"
+
+echo "wrote $OUT" >&2

@@ -6,6 +6,9 @@
 #   tier 3: a short native-fuzz smoke of the whole pipeline
 #   tier 4: cexload smoke — the corpus served end to end through an
 #           in-process cexd (server, client, and harness in one pass)
+#   tier 5: cexchaos smoke — the same corpus under a deterministic 5%
+#           fault schedule; fails on a crash, a malformed response, or
+#           a GLR-invalid surviving counterexample
 #
 # Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
 set -eu
@@ -23,9 +26,13 @@ go test -race ./internal/core/... ./internal/eval/... ./internal/server/...
 
 echo "== tier 3: fuzz smoke (${FUZZTIME}) =="
 go test -run='^$' -fuzz=FuzzFindAll -fuzztime="$FUZZTIME" ./internal/core/
+go test -run='^$' -fuzz=FuzzRecoverLadder -fuzztime=5s ./internal/core/
 go test -run='^$' -fuzz=FuzzParseLimited -fuzztime=5s ./internal/gdl/
 
 echo "== tier 4: cexload smoke (selfserve, one corpus pass) =="
 go run ./cmd/cexload -selfserve -smoke -levels 4 -maxconfigs 5000 -deadline-ms 5000 -out /dev/null
+
+echo "== tier 5: chaos smoke (deterministic fault schedule) =="
+go run ./cmd/cexchaos -seed 1 -rate 0.05 -smoke -out /dev/null
 
 echo "verify: OK"
