@@ -107,6 +107,15 @@ func sortedSyms(m map[grammar.Sym]int) []grammar.Sym {
 // naive counterexample actually demonstrates the conflict. It simulates the
 // lookahead-sensitive graph of Section 4 restricted to the given symbols.
 func ValidatePrefix(a *lr.Automaton, c lr.Conflict, prefix []grammar.Sym) bool {
+	valid, _ := ValidatePrefixBounded(a, c, prefix, 0)
+	return valid
+}
+
+// ValidatePrefixBounded is ValidatePrefix with a node budget: the simulation
+// stops after visiting maxNodes vertices (0 = unlimited) and then reports
+// complete=false with no verdict. The metamorphic oracles use the bound so a
+// pathological mutant grammar cannot stall a campaign inside one validation.
+func ValidatePrefixBounded(a *lr.Automaton, c lr.Conflict, prefix []grammar.Sym, maxNodes int) (valid, complete bool) {
 	g := a.G
 	type vkey struct {
 		state int
@@ -122,21 +131,27 @@ func ValidatePrefix(a *lr.Automaton, c lr.Conflict, prefix []grammar.Sym) bool {
 	visited := map[vkey]bool{root: true}
 	queue := []vkey{root}
 	tIdx := g.TermIndex(c.Sym)
+	truncated := false
 
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
 		if v.pos == len(prefix) && v.state == c.State && v.item == c.Item1 {
 			if interner.Get(v.la).Has(tIdx) {
-				return true
+				return true, true
 			}
 		}
 		st := a.States[v.state]
 		la := interner.Get(v.la)
 		push := func(k vkey) {
-			if !visited[k] {
-				visited[k] = true
-				queue = append(queue, k)
+			if visited[k] {
+				return
 			}
+			if maxNodes > 0 && len(visited) >= maxNodes {
+				truncated = true
+				return
+			}
+			visited[k] = true
+			queue = append(queue, k)
 		}
 		// Transition on the next prefix symbol.
 		if v.pos < len(prefix) && a.DotSym(v.item) == prefix[v.pos] {
@@ -155,5 +170,5 @@ func ValidatePrefix(a *lr.Automaton, c lr.Conflict, prefix []grammar.Sym) bool {
 			}
 		}
 	}
-	return false
+	return false, !truncated
 }

@@ -1,0 +1,25 @@
+package baseline
+
+import "lrcex/internal/lr"
+
+// ValidityRate measures the naive (prior-PPG/CUP2-style) construction's
+// validity over a table's conflicts: for each conflict, whether the
+// lookahead-ignoring shortest-path counterexample actually reaches the
+// conflict with the conflict terminal in its precise lookahead set (Section
+// 7.2 of the paper). max caps how many conflicts are measured (0 = all); the
+// sample is the deterministic conflict-order prefix. The metamorphic campaign
+// tracks this rate across hundreds of mutated grammars — the paper's claim is
+// that it stays well below 100%, which is exactly why the lookahead-sensitive
+// search exists.
+func ValidityRate(tbl *lr.Table, max int) (valid, total int) {
+	for _, c := range tbl.Conflicts {
+		if max > 0 && total >= max {
+			break
+		}
+		total++
+		if Naive(tbl, c).Valid {
+			valid++
+		}
+	}
+	return valid, total
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// NameNormalizer maps a grammar's symbols onto stable positional names: "$"
+// for the end-of-input terminal, "S'" for the augmented start, then "t0",
+// "t1", ... for terminals in dense terminal order and "n0", "n1", ... for
+// nonterminals in id order. Two grammars that intern their symbols in the
+// same order — a grammar and its symbol-renamed mutant built by structural
+// replication — normalize to identical names, which is what lets canonical
+// reports be compared byte-for-byte modulo renaming.
+type NameNormalizer struct {
+	names []string
+}
+
+// NewNameNormalizer builds the normalizer for one grammar.
+func NewNameNormalizer(g *grammar.Grammar) *NameNormalizer {
+	n := &NameNormalizer{names: make([]string, g.NumSymbols())}
+	nonterms := 0
+	for s := 0; s < g.NumSymbols(); s++ {
+		sym := grammar.Sym(s)
+		switch {
+		case sym == grammar.EOF:
+			n.names[s] = "$"
+		case sym == grammar.Start:
+			n.names[s] = "S'"
+		case g.IsTerminal(sym):
+			n.names[s] = fmt.Sprintf("t%d", g.TermIndex(sym)-1)
+		default:
+			n.names[s] = fmt.Sprintf("n%d", nonterms)
+			nonterms++
+		}
+	}
+	return n
+}
+
+// Name returns the normalized name of s.
+func (n *NameNormalizer) Name(s grammar.Sym) string { return n.names[s] }
+
+// syms renders a symbol sequence with normalized names, marking the dot
+// position when 0 <= dot <= len(syms) (pass -1 for none).
+func (n *NameNormalizer) syms(seq []grammar.Sym, dot int) string {
+	var sb strings.Builder
+	for i, s := range seq {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		if i == dot {
+			sb.WriteString("• ")
+		}
+		sb.WriteString(n.Name(s))
+	}
+	if dot == len(seq) {
+		if len(seq) > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("•")
+	}
+	return sb.String()
+}
+
+// item renders an item as "lhs -> α • β" with normalized names.
+func (n *NameNormalizer) item(a *lr.Automaton, it lr.Item) string {
+	p := a.G.Production(a.Prod(it))
+	return n.Name(p.LHS) + " -> " + n.syms(p.RHS, a.Dot(it))
+}
+
+// deriv renders a derivation tree as an s-expression: a leaf is its symbol's
+// normalized name, an interior node is "(sym pN child...)" where N is the
+// applied production's id. Production ids are structural, so the rendering is
+// stable under renaming.
+func (n *NameNormalizer) deriv(d *Deriv, sb *strings.Builder) {
+	if d.Prod < 0 {
+		sb.WriteString(n.Name(d.Sym))
+		return
+	}
+	fmt.Fprintf(sb, "(%s p%d", n.Name(d.Sym), d.Prod)
+	for _, c := range d.Children {
+		sb.WriteByte(' ')
+		n.deriv(c, sb)
+	}
+	sb.WriteByte(')')
+}
+
+// Canonical renders the example in the stable canonical form: the conflict's
+// coordinates (state, kind, conflict symbol, both items) followed by the
+// outcome — the ambiguous nonterminal, sentential form, and both derivations
+// for a unifying example; the shared prefix and both continuations otherwise.
+// All symbol names are normalized (see NameNormalizer) and nothing
+// wall-clock-dependent (timings, search statistics) is included, so under
+// deterministic budgets the canonical form is a pure function of the
+// grammar's structure: identical across runs, across Parallelism settings,
+// and across symbol renamings.
+func (ex *Example) Canonical(a *lr.Automaton, nm *NameNormalizer) string {
+	c := ex.Conflict
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "conflict: %s state=%d sym=%s syms=(%s)\n",
+		c.Kind, c.State, nm.Name(c.Sym), nm.syms(c.Syms, -1))
+	fmt.Fprintf(&sb, "item1: %s\n", nm.item(a, c.Item1))
+	fmt.Fprintf(&sb, "item2: %s\n", nm.item(a, c.Item2))
+	fmt.Fprintf(&sb, "kind: %s\n", ex.Kind)
+	if ex.Merged {
+		sb.WriteString("merged: lalr-state-merge\n")
+	}
+	if ex.Kind == Unifying {
+		fmt.Fprintf(&sb, "nonterminal: %s\n", nm.Name(ex.Nonterminal))
+		fmt.Fprintf(&sb, "form: %s\n", nm.syms(ex.Syms, ex.Dot))
+		sb.WriteString("deriv1: ")
+		nm.deriv(ex.Deriv1, &sb)
+		sb.WriteString("\nderiv2: ")
+		nm.deriv(ex.Deriv2, &sb)
+		sb.WriteByte('\n')
+	} else {
+		fmt.Fprintf(&sb, "prefix: %s\n", nm.syms(ex.Prefix, -1))
+		fmt.Fprintf(&sb, "after1: %s\n", nm.syms(ex.After1, -1))
+		fmt.Fprintf(&sb, "after2: %s\n", nm.syms(ex.After2, -1))
+	}
+	return sb.String()
+}
+
+// CanonicalReport renders a FindAll result in the canonical form golden files
+// and differential harnesses compare: one Canonical record per example,
+// sorted lexicographically (so the comparison is insensitive to conflict
+// enumeration order), separated by blank lines. Byte equality of two
+// canonical reports means the two runs found structurally identical
+// counterexamples for structurally identical conflicts.
+func CanonicalReport(a *lr.Automaton, exs []*Example) string {
+	nm := NewNameNormalizer(a.G)
+	records := make([]string, len(exs))
+	for i, ex := range exs {
+		records[i] = ex.Canonical(a, nm)
+	}
+	sort.Strings(records)
+	return strings.Join(records, "\n")
+}

@@ -1,7 +1,6 @@
 package core_test
 
 import (
-	"strings"
 	"testing"
 
 	"lrcex/internal/core"
@@ -11,7 +10,7 @@ import (
 )
 
 // TestParallelDeterminism is the schedule-independence regression test: with
-// deterministic budgets (NoTimeout + MaxConfigs) the full report output of a
+// deterministic budgets (NoTimeout + MaxConfigs) the canonical report of a
 // Parallelism:8 FindAll must be byte-identical across 20 runs. The grammars
 // cover the paper's two signature conflicts — figure1 contains both the
 // dangling-else conflict (Figure 5) and the challenging conflict of Section
@@ -45,12 +44,7 @@ func TestParallelDeterminism(t *testing.T) {
 				if err != nil {
 					t.Fatalf("run %d: %v", run, err)
 				}
-				var sb strings.Builder
-				for _, ex := range exs {
-					sb.WriteString(ex.Report(tbl.A))
-					sb.WriteByte('\n')
-				}
-				got := sb.String()
+				got := core.CanonicalReport(tbl.A, exs)
 				if run == 0 {
 					ref = got
 					continue

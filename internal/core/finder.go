@@ -155,6 +155,13 @@ type Example struct {
 	After1 []grammar.Sym
 	After2 []grammar.Sym
 
+	// Merged marks a reduce/reduce conflict induced purely by LALR state
+	// merging: no single prefix carries the conflict terminal into both
+	// items' precise lookaheads, so the conflict is absent from the canonical
+	// LR(1) construction. Prefix is then valid for the first reduction only;
+	// the second reaches its reduction through a different merged context.
+	Merged bool
+
 	// Elapsed is the wall-clock time spent on this conflict; Expanded the
 	// number of configurations the unifying search expanded (also available,
 	// with the rest of the search counters, in Stats).
@@ -592,6 +599,7 @@ func (f *Finder) search(ctx context.Context, c lr.Conflict, sc *scratch, runUnif
 	ex.Prefix = nu.prefix
 	ex.After1 = nu.after1
 	ex.After2 = nu.after2
+	ex.Merged = nu.merged
 	ex.Elapsed = time.Since(start)
 	ex.Stats.PathExpanded = sc.pathExpanded
 	f.bank.charge(ex.Elapsed)

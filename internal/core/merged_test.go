@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"lrcex/internal/baseline"
+	"lrcex/internal/core"
+	"lrcex/internal/gdl"
+	"lrcex/internal/lr"
+)
+
+// phantomRR is the textbook LALR-but-not-LR(1) grammar: e and f both derive
+// the same terminal, and the four s-productions give their reductions
+// disjoint lookaheads per context ('a' after e only under a-prefix, etc.).
+// LALR merges the two contexts into one state, manufacturing reduce/reduce
+// conflicts under 'a' and 'b' that the canonical LR(1) construction does not
+// have. No single prefix carries the conflict terminal into both items'
+// precise lookaheads, so the joint lookahead-sensitive search must come up
+// empty.
+const phantomRR = `
+s : 'a' e 'a' | 'b' e 'b' | 'a' f 'b' | 'b' f 'a' ;
+e : 'x' ;
+f : 'x' ;
+`
+
+// TestMergedRRConflictDegrades is the regression test for a hard failure the
+// metamorphic fuzzer found (unfold-nonterm on stackovf10): FindAll used to
+// abort the whole run with "no joint lookahead-sensitive path" on
+// merge-induced reduce/reduce conflicts. It must instead degrade to a
+// nonunifying example flagged as Merged, with a prefix that is still valid
+// for the first reduction.
+func TestMergedRRConflictDegrades(t *testing.T) {
+	g, err := gdl.Parse("phantomRR", phantomRR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lr.Build(g)
+	tbl := lr.BuildTable(a)
+
+	if m := lr.BuildLR1(a, 0); m == nil || len(m.Conflicts()) != 0 {
+		t.Fatalf("grammar is supposed to be LR(1); got LR1 conflicts: %v", m.Conflicts())
+	}
+	if len(tbl.Conflicts) != 1 {
+		t.Fatalf("expected 1 merge-induced LALR conflict (symbols aggregate per item pair), got %d", len(tbl.Conflicts))
+	}
+	if c := tbl.Conflicts[0]; c.Kind != lr.ReduceReduce || len(c.Syms) != 2 {
+		t.Fatalf("expected a reduce/reduce conflict under two symbols, got %v under %v", c.Kind, g.SymString(c.Syms))
+	}
+
+	f := core.NewFinder(tbl, core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         20000,
+		Parallelism:        1,
+	})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatalf("FindAll must degrade, not fail: %v", err)
+	}
+	if len(exs) != 1 {
+		t.Fatalf("expected 1 example, got %d", len(exs))
+	}
+	for _, ex := range exs {
+		if ex.Kind == core.Unifying {
+			t.Errorf("conflict under %s: the grammar is unambiguous, yet a unifying example was found", g.Name(ex.Conflict.Sym))
+			continue
+		}
+		if !ex.Merged {
+			t.Errorf("conflict under %s: example not flagged Merged", g.Name(ex.Conflict.Sym))
+		}
+		// The degraded prefix must still demonstrate the first reduction: a
+		// lookahead-sensitive path ending at item1 with the conflict terminal
+		// in its precise lookahead.
+		if !baseline.ValidatePrefix(a, ex.Conflict, ex.Prefix) {
+			t.Errorf("conflict under %s: degraded prefix %q invalid for the first reduction",
+				g.Name(ex.Conflict.Sym), g.SymString(ex.Prefix))
+		}
+		rep := ex.Report(a)
+		if !strings.Contains(rep, "LALR state merging") {
+			t.Errorf("report does not explain the merge-induced conflict:\n%s", rep)
+		}
+		canon := core.CanonicalReport(a, []*core.Example{ex})
+		if !strings.Contains(canon, "merged: lalr-state-merge") {
+			t.Errorf("canonical record does not carry the merged marker:\n%s", canon)
+		}
+	}
+}

@@ -16,6 +16,12 @@ type nonunifying struct {
 	prefix []grammar.Sym
 	after1 []grammar.Sym // continuation using the reduce item
 	after2 []grammar.Sym // continuation using the shift item (or 2nd reduce)
+	// merged marks a reduce/reduce conflict that exists only because LALR
+	// merged incompatible contexts into one state: no single prefix puts the
+	// conflict terminal into both items' precise lookaheads (the conflict
+	// vanishes under canonical LR(1)). The prefix here is valid for item1;
+	// item2's continuation reaches its reduction through a different context.
+	merged bool
 }
 
 // buildNonunifying constructs a nonunifying counterexample for the conflict
@@ -93,7 +99,30 @@ func buildNonunifyingRR(ctx context.Context, g *graph, c lr.Conflict, path *lasp
 		return nil, err
 	}
 	if !ok {
-		return nil, errors.New("core: no joint lookahead-sensitive path for the reduce/reduce conflict")
+		// No joint path exists: the two items carry the conflict terminal in
+		// their LALR lookaheads only via *different* contexts that state
+		// merging collapsed into one state (the conflict is absent from the
+		// canonical LR(1) construction — the metamorphic fuzzer found this on
+		// an unfolded corpus grammar). Degrade instead of failing the whole
+		// search: keep item1's lookahead-valid prefix, replay item2 over the
+		// same states without the lookahead demand, and mark the example as
+		// merge-induced so reports can say why the second string is weaker.
+		relaxed, ok2, err := otherSidePending(ctx, g, sc, prefix, item2Node, c.Sym, false)
+		if err != nil {
+			return nil, err
+		}
+		if !ok2 {
+			return nil, errors.New("core: no same-states path to the second reduce item")
+		}
+		after1, ok1 := completeStartingWith(gr, path.pendingRemainders(g), c.Sym, sc.busySet())
+		if !ok1 {
+			return nil, errors.New("core: cannot complete reduce-side continuation with the conflict terminal")
+		}
+		after2, ok2c := completeStartingWith(gr, relaxed, c.Sym, sc.busySet())
+		if !ok2c {
+			after2 = concat(relaxed)
+		}
+		return &nonunifying{prefix: prefix, after1: stripEOF(after1), after2: stripEOF(after2), merged: true}, nil
 	}
 	after1, ok1 := completeStartingWith(gr, rem1, c.Sym, sc.busySet())
 	after2, ok2 := completeStartingWith(gr, rem2, c.Sym, sc.busySet())

@@ -40,6 +40,10 @@ func (ex *Example) Report(a *lr.Automaton) string {
 		} else if ex.Kind == NonunifyingExhausted {
 			sb.WriteString("No unifying counterexample exists on the conflict's shortest path\n")
 		}
+		if ex.Merged {
+			sb.WriteString("Conflict arises only from LALR state merging (absent under canonical LR(1)):\n")
+			sb.WriteString("  the two reductions see the conflict symbol in different contexts\n")
+		}
 		dot := len(ex.Prefix)
 		both := func(after []grammar.Sym) string {
 			full := append(append([]grammar.Sym{}, ex.Prefix...), after...)

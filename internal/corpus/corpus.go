@@ -146,3 +146,12 @@ func SortedNames() []string {
 	sort.Strings(ns)
 	return ns
 }
+
+// SmokeNames is the small fixed subset the fast tiers (cexdiff -smoke,
+// verify.sh) run against: seconds, not minutes, while still covering
+// precedence declarations (simp2, SQL.1), an ambiguous textbook grammar
+// (figure1), an unambiguous one (figure3), and a conflict-dense one
+// (stackovf10).
+func SmokeNames() []string {
+	return []string{"figure1", "figure3", "simp2", "stackovf10", "SQL.1"}
+}

@@ -62,7 +62,7 @@ func (g *GLR) ParseAll(tokens []Token) ([]*Node, error) {
 		seen := map[string]bool{}
 		for len(work) > 0 {
 			if len(work)+len(next) > g.MaxStacks {
-				return trees, fmt.Errorf("engine: GLR fork limit exceeded (%d stacks)", g.MaxStacks)
+				return trees, fmt.Errorf("%w (%d stacks)", ErrForkLimit, g.MaxStacks)
 			}
 			st := work[len(work)-1]
 			work = work[:len(work)-1]

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// ErrForkLimit is the typed cause of a GLR parse abandoned at MaxStacks.
+// Oracle callers treat it as "unable to judge" — a property of the oracle's
+// budget, not of the input — and distinguish it from a genuine verdict with
+// errors.Is.
+var ErrForkLimit = errors.New("engine: GLR fork limit exceeded")
+
+// ValidateAmbiguous is the independent ambiguity oracle used by the fuzz
+// targets, the chaos harness, and the metamorphic checkers: it re-validates a
+// unifying counterexample end-to-end against the GLR driver, with no code
+// shared with the conflict-time search. The sentential form syms (over g's
+// symbols) is a claimed ambiguous derivation of nonterminal start; the oracle
+// restarts the grammar at that nonterminal, concretizes the form to pure
+// terminals, and counts distinct GLR parse trees. A return of n >= 2 confirms
+// the ambiguity. Errors wrapping ErrForkLimit mean the oracle ran out of
+// budget and has no verdict.
+func ValidateAmbiguous(g *grammar.Grammar, start grammar.Sym, syms []grammar.Sym) (int, error) {
+	sub, err := g.WithStart(start)
+	if err != nil {
+		return 0, err
+	}
+	subSyms := make([]grammar.Sym, len(syms))
+	for i, s := range syms {
+		m, ok := sub.Lookup(g.Name(s))
+		if !ok {
+			return 0, fmt.Errorf("engine: symbol %s lost restarting at %s", g.Name(s), g.Name(start))
+		}
+		subSyms[i] = m
+	}
+	concrete, ok := Concretize(sub, subSyms)
+	if !ok {
+		return 0, fmt.Errorf("engine: cannot concretize %s", g.SymString(syms))
+	}
+	glr := NewGLR(lr.BuildTable(lr.Build(sub)))
+	return glr.CountParses(concrete)
+}

@@ -175,6 +175,76 @@ func TestConcurrentEvaluation(t *testing.T) {
 	}
 }
 
+// TestFiredCountIndependentOfGoroutines is the replayability property the
+// chaos harness depends on: whether a given evaluation fires is a pure
+// function of (seed, rate, evaluation index), and the calls counter hands
+// out each index exactly once regardless of which goroutine draws it. So
+// for a fixed total number of evaluations the aggregate fired count must be
+// bit-identical across goroutine counts.
+func TestFiredCountIndependentOfGoroutines(t *testing.T) {
+	const total = 4000
+	run := func(seedv int64, prob float64, workers int) int64 {
+		arm(t, Config{Seed: seedv, Rates: map[Point]Rate{ServerCache: {Prob: prob}}})
+		var wg sync.WaitGroup
+		per := total / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					Should(ServerCache)
+				}
+			}()
+		}
+		wg.Wait()
+		snap := Snapshot()[ServerCache]
+		if snap.Calls != total {
+			t.Fatalf("workers=%d evaluated %d times, want %d", workers, snap.Calls, total)
+		}
+		return snap.Fired
+	}
+	for _, seedv := range []int64{1, 42, 9001} {
+		for _, prob := range []float64{0.1, 0.5, 0.9} {
+			want := run(seedv, prob, 1)
+			if want == 0 || want == total {
+				t.Fatalf("degenerate schedule seed=%d prob=%g fired %d/%d; test would prove nothing",
+					seedv, prob, want, total)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				if got := run(seedv, prob, workers); got != want {
+					t.Errorf("seed=%d prob=%g: fired %d with %d goroutines, %d with 1",
+						seedv, prob, got, workers, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCapBoundary pins the xN cap at its boundary: with Prob=1 and Max=N,
+// exactly N evaluations yield exactly N firings (the cap is not off by one),
+// and every further evaluation is refused while the calls tally keeps
+// counting.
+func TestCapBoundary(t *testing.T) {
+	const cap = 7
+	arm(t, Config{Seed: 3, Rates: map[Point]Rate{ServerWorker: {Prob: 1, Max: cap}}})
+	for i := 0; i < cap; i++ {
+		if !Should(ServerWorker) {
+			t.Fatalf("evaluation %d under the cap did not fire", i)
+		}
+	}
+	if c := Snapshot()[ServerWorker]; c.Fired != cap {
+		t.Fatalf("fired %d after exactly %d evaluations, want %d", c.Fired, cap, cap)
+	}
+	for i := 0; i < 25; i++ {
+		if Should(ServerWorker) {
+			t.Fatalf("evaluation %d past the cap fired", cap+i)
+		}
+	}
+	if c := Snapshot()[ServerWorker]; c.Fired != cap || c.Calls != cap+25 {
+		t.Fatalf("counts = %+v, want fired=%d calls=%d", c, cap, cap+25)
+	}
+}
+
 func TestThresholdEdges(t *testing.T) {
 	// Prob ≥ 1 must map to the always-fire threshold, not overflow.
 	arm(t, Config{Seed: 1, Rates: map[Point]Rate{ServerWorker: {Prob: 1.5}}})

@@ -84,10 +84,22 @@ func ParseLimited(name, src string, lim Limits) (g *Grammar, err error) {
 
 // Fingerprint returns a canonical content hash of a grammar source: the
 // SHA-256 of its token stream. Whitespace, comments, and newline placement do
-// not affect the hash, so trivially reformatted submissions of the same
-// grammar collapse onto one fingerprint — this is the cache key of the
-// analysis service, computed in O(len(src)) without building any tables.
-// Limits apply as in ParseLimited (only MaxSourceBytes is relevant here).
+// not affect the hash — except where newline placement affects the parse, see
+// below — so trivially reformatted submissions of the same grammar collapse
+// onto one fingerprint. This is the cache key of the analysis service,
+// computed in O(len(src)) without building any tables. Limits apply as in
+// ParseLimited (only MaxSourceBytes is relevant here).
+//
+// One piece of line structure is parse-relevant and therefore hashed: the
+// argument lists of %token/%terminal/%left/%right/%nonassoc are terminated by
+// the end of the directive's line, so "%left '+' '-'" and "%left '+'" on one
+// line with "'-'" on the next parse differently (the second does not parse at
+// all) while their token streams are identical. The hash covers each such
+// directive's argument count, so the two cannot collide onto one cache entry
+// — the cache is consulted before parsing, and under the old hash it would
+// serve the valid grammar's report for the unparseable source (found by the
+// metamorphic formatting-churn mutator; see
+// TestFingerprintDirectiveLineSensitivity).
 func Fingerprint(name, src string, lim Limits) (string, error) {
 	if err := lim.check(name, LimitSourceBytes, lim.MaxSourceBytes, len(src)); err != nil {
 		return "", err
@@ -98,13 +110,34 @@ func Fingerprint(name, src string, lim Limits) (string, error) {
 	}
 	h := sha256.New()
 	var sep [2]byte
-	for _, t := range toks {
+	for i, t := range toks {
 		// (kind, len-delimited text): unambiguous framing, so "a b" and
 		// "ab" cannot collide.
 		sep[0] = byte(t.kind)
 		sep[1] = byte(len(t.text)) // texts > 255 bytes still framed by kind byte + content
 		h.Write(sep[:])
 		h.Write([]byte(t.text))
+		if t.kind == tokDirective && lineSensitiveDirective(t.text) {
+			n := 0
+			for _, a := range toks[i+1:] {
+				if (a.kind != tokIdent && a.kind != tokLiteral) || a.line != t.line {
+					break
+				}
+				n++
+			}
+			h.Write([]byte{0xff, byte(n), byte(n >> 8)})
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// lineSensitiveDirective reports whether the directive's argument list is
+// terminated by its line end (so newline placement changes the parse).
+// %start and %prec consume exactly one following token regardless of lines.
+func lineSensitiveDirective(d string) bool {
+	switch d {
+	case "token", "terminal", "left", "right", "nonassoc":
+		return true
+	}
+	return false
 }

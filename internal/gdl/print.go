@@ -1,0 +1,183 @@
+package gdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lrcex/internal/grammar"
+)
+
+// Print renders a grammar back to GDL source such that re-parsing the output
+// reproduces the grammar structurally: grammar.Equal(g, MustParse(Print(g)))
+// holds for every grammar whose precedence levels are dense (1..n, as any
+// GDL-parsed grammar's are) and whose nonterminal names lex as identifiers.
+// Symbol ids are not preserved — the reparse interns symbols in a different
+// order — but names, kinds, precedence, associativity, the start symbol, and
+// the production sequence (including %prec overrides) all are.
+//
+// The layout is canonical: %token lines for every terminal in id order, one
+// precedence directive per level in ascending level order, %start, then the
+// rules in production-id order with contiguous same-LHS runs grouped into one
+// rule block. The metamorphic mutators rely on this canonicalization: two
+// structurally equal grammars print to byte-identical source.
+func Print(g *grammar.Grammar) (string, error) {
+	var sb strings.Builder
+
+	// %token: every terminal, so terminals that appear only in precedence
+	// declarations (or nowhere) survive the round trip.
+	terms := g.Terminals()
+	if len(terms) > 0 {
+		sb.WriteString("%token")
+		for _, t := range terms {
+			r, err := renderName(g.Name(t), true)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(r)
+		}
+		sb.WriteByte('\n')
+	}
+
+	// Precedence levels, ascending. GDL assigns one associativity per level,
+	// so a level with mixed associativities (only constructible through the
+	// Builder API) is not expressible.
+	byLevel := map[int][]grammar.Sym{}
+	var levels []int
+	for _, t := range terms {
+		if lv, _ := g.Prec(t); lv > 0 {
+			if len(byLevel[lv]) == 0 {
+				levels = append(levels, lv)
+			}
+			byLevel[lv] = append(byLevel[lv], t)
+		}
+	}
+	sort.Ints(levels)
+	for i, lv := range levels {
+		if lv != i+1 {
+			return "", fmt.Errorf("gdl: Print: precedence levels are not dense (level %d at rank %d)", lv, i+1)
+		}
+		_, assoc := g.Prec(byLevel[lv][0])
+		var dir string
+		switch assoc {
+		case grammar.AssocLeft:
+			dir = "%left"
+		case grammar.AssocRight:
+			dir = "%right"
+		case grammar.AssocNone:
+			dir = "%nonassoc"
+		default:
+			return "", fmt.Errorf("gdl: Print: terminal %s has precedence but no associativity", g.Name(byLevel[lv][0]))
+		}
+		sb.WriteString(dir)
+		for _, t := range byLevel[lv] {
+			if _, a := g.Prec(t); a != assoc {
+				return "", fmt.Errorf("gdl: Print: precedence level %d mixes associativities", lv)
+			}
+			r, err := renderName(g.Name(t), true)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(r)
+		}
+		sb.WriteByte('\n')
+	}
+
+	start, err := renderName(g.Name(g.StartSym()), false)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "%%start %s\n", start)
+
+	// Rules: productions in id order (the augmented production 0 is implied),
+	// contiguous same-LHS runs as one block, so the reparse rebuilds the
+	// production sequence exactly.
+	for pid := 1; pid < g.NumProductions(); {
+		lhs := g.Production(pid).LHS
+		name, err := renderName(g.Name(lhs), false)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteByte('\n')
+		sb.WriteString(name)
+		sep := " :"
+		for ; pid < g.NumProductions() && g.Production(pid).LHS == lhs; pid++ {
+			p := g.Production(pid)
+			sb.WriteString(sep)
+			sep = "\n  |"
+			for _, s := range p.RHS {
+				r, err := renderName(g.Name(s), g.IsTerminal(s))
+				if err != nil {
+					return "", err
+				}
+				sb.WriteByte(' ')
+				sb.WriteString(r)
+			}
+			if ps := p.PrecSym; ps != autoPrecSym(g, p.RHS) {
+				r, err := renderName(g.Name(ps), true)
+				if err != nil {
+					return "", err
+				}
+				sb.WriteString(" %prec ")
+				sb.WriteString(r)
+			}
+		}
+		sb.WriteString("\n  ;\n")
+	}
+	return sb.String(), nil
+}
+
+// MustPrint is Print for grammars known to be expressible in GDL; it panics
+// on error.
+func MustPrint(g *grammar.Grammar) string {
+	src, err := Print(g)
+	if err != nil {
+		panic("gdl: " + err.Error())
+	}
+	return src
+}
+
+// autoPrecSym replicates the Builder's default %prec inference — the last
+// terminal of the RHS — so Print emits an explicit %prec only when the
+// production overrides that default.
+func autoPrecSym(g *grammar.Grammar, rhs []grammar.Sym) grammar.Sym {
+	for i := len(rhs) - 1; i >= 0; i-- {
+		if g.IsTerminal(rhs[i]) {
+			return rhs[i]
+		}
+	}
+	return grammar.NoSym
+}
+
+// renderName renders a symbol name as a GDL token: bare when it lexes as a
+// single identifier, quoted otherwise (terminals only — nonterminals must be
+// identifiers because they appear as rule left-hand sides).
+func renderName(name string, terminal bool) (string, error) {
+	if name == "" {
+		return "", fmt.Errorf("gdl: Print: empty symbol name")
+	}
+	if isIdentStart(name[0]) {
+		ident := true
+		for i := 1; i < len(name); i++ {
+			if !isIdentChar(name[i]) {
+				ident = false
+				break
+			}
+		}
+		if ident {
+			return name, nil
+		}
+	}
+	if !terminal {
+		return "", fmt.Errorf("gdl: Print: nonterminal name %q is not an identifier", name)
+	}
+	if !strings.ContainsAny(name, "'\n") {
+		return "'" + name + "'", nil
+	}
+	if !strings.ContainsAny(name, "\"\n") {
+		return "\"" + name + "\"", nil
+	}
+	return "", fmt.Errorf("gdl: Print: terminal name %q cannot be quoted", name)
+}

@@ -1,0 +1,138 @@
+package gdl_test
+
+import (
+	"strings"
+	"testing"
+
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+)
+
+// TestPrintRoundTrip locks the printer/parser round trip the metamorphic
+// subsystem depends on: parse(Print(g)) must be structurally equal to g —
+// same names, kinds, precedence levels and associativities, start symbol,
+// and production sequence including %prec overrides — and Print must be a
+// fixpoint (printing the reparse reproduces the bytes), which is what makes
+// the printed form canonical.
+func TestPrintRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"minimal", `s : A ;`},
+		{"empty-alternative", `
+			s : A s | ;`},
+		{"left-assoc", `
+			%left '+' '-'
+			%left '*' '/'
+			e : e '+' e | e '-' e | e '*' e | e '/' e | NUM ;`},
+		{"right-assoc", `
+			%right ASSIGN
+			e : ID ASSIGN e | ID ;`},
+		{"nonassoc", `
+			%nonassoc '=='
+			e : e '==' e | ID ;`},
+		{"all-three-assocs", `
+			%left '+'
+			%right '^'
+			%nonassoc '<'
+			e : e '+' e | e '^' e | e '<' e | NUM ;`},
+		{"prec-override", `
+			%left '+'
+			%right UMINUS
+			e : e '+' e
+			  | '-' e %prec UMINUS
+			  | NUM ;`},
+		{"prec-on-terminal-free-rhs", `
+			%left LOW HIGH
+			s : e ;
+			e : e x e %prec HIGH | NUM ;
+			x : ;`},
+		{"token-decls", `
+			%token NUM ID UNUSED
+			s : NUM | ID ;`},
+		{"quoted-multichar", `
+			s : s ':=' ID | ID ;`},
+		{"explicit-start", `
+			%start inner
+			outer : inner ;
+			inner : A ;`},
+		{"split-lhs-blocks", `
+			s : A ;
+			x : B ;
+			s2 : s x ;`},
+		{"comments-and-churn", `
+			// leading comment
+			%left '+' /* inline */
+			e : e '+' e // trailing
+			  | NUM ;`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := gdl.Parse(tc.name, tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			printed, err := gdl.Print(g)
+			if err != nil {
+				t.Fatalf("print: %v", err)
+			}
+			back, err := gdl.Parse(tc.name+".printed", printed)
+			if err != nil {
+				t.Fatalf("reparse of printed source failed: %v\n--- printed ---\n%s", err, printed)
+			}
+			if !grammar.Equal(g, back) {
+				t.Errorf("parse(Print(g)) != g\n--- printed ---\n%s\n--- original ---\n%s--- reparsed ---\n%s",
+					printed, g.String(), back.String())
+			}
+			again, err := gdl.Print(back)
+			if err != nil {
+				t.Fatalf("second print: %v", err)
+			}
+			if again != printed {
+				t.Errorf("Print is not a fixpoint\n--- first ---\n%s\n--- second ---\n%s", printed, again)
+			}
+		})
+	}
+}
+
+// TestPrintRoundTripCorpus runs the same round trip over the whole Table-1
+// corpus: every grammar the campaign mutates must survive print/reparse.
+func TestPrintRoundTripCorpus(t *testing.T) {
+	for _, e := range corpus.All() {
+		g, err := gdl.Parse(e.Name, e.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		printed, err := gdl.Print(g)
+		if err != nil {
+			t.Fatalf("%s: print: %v", e.Name, err)
+		}
+		back, err := gdl.Parse(e.Name+".printed", printed)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", e.Name, err)
+		}
+		if !grammar.Equal(g, back) {
+			t.Errorf("%s: parse(Print(g)) != g", e.Name)
+		}
+	}
+}
+
+// TestPrintRejectsInexpressible covers the printer's error paths: gapped
+// precedence levels and mixed associativity within one level are Builder-only
+// constructions GDL cannot express.
+func TestPrintRejectsInexpressible(t *testing.T) {
+	b := grammar.NewBuilder()
+	plus := b.Terminal("+")
+	s := b.Nonterminal("s")
+	b.SetPrec(plus, 2, grammar.AssocLeft) // level 1 missing: not dense
+	b.Add(s, []grammar.Sym{plus}, grammar.NoSym)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gdl.Print(g); err == nil || !strings.Contains(err.Error(), "dense") {
+		t.Errorf("Print on gapped levels: got err %v, want dense-levels error", err)
+	}
+}

@@ -1,0 +1,53 @@
+package grammar
+
+// Equal reports whether two grammars are structurally identical modulo
+// symbol renumbering: the same symbol names with the same kinds, precedence
+// levels, and associativities; the same start symbol; and the same production
+// sequence (compared through names, in production-id order) with the same
+// %prec overrides. Symbol ids are deliberately ignored — two grammars that
+// interned their symbols in different orders still compare equal — which is
+// what lets round-trip tests compare a grammar against parse(Print(grammar))
+// and lets the metamorphic checkers compare a grammar against its rebuilt
+// mutants.
+func Equal(a, b *Grammar) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.syms) != len(b.syms) || len(a.prods) != len(b.prods) {
+		return false
+	}
+	if a.Name(a.StartSym()) != b.Name(b.StartSym()) {
+		return false
+	}
+	for _, ia := range a.syms {
+		sb, ok := b.names[ia.name]
+		if !ok {
+			return false
+		}
+		ib := b.syms[sb]
+		if ia.kind != ib.kind || ia.prec != ib.prec || ia.assoc != ib.assoc {
+			return false
+		}
+	}
+	symName := func(g *Grammar, s Sym) string {
+		if s == NoSym {
+			return ""
+		}
+		return g.Name(s)
+	}
+	for i := range a.prods {
+		pa, pb := a.prods[i], b.prods[i]
+		if a.Name(pa.LHS) != b.Name(pb.LHS) || len(pa.RHS) != len(pb.RHS) {
+			return false
+		}
+		for k := range pa.RHS {
+			if a.Name(pa.RHS[k]) != b.Name(pb.RHS[k]) {
+				return false
+			}
+		}
+		if symName(a, pa.PrecSym) != symName(b, pb.PrecSym) || pa.Prec != pb.Prec {
+			return false
+		}
+	}
+	return true
+}

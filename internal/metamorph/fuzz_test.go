@@ -1,0 +1,119 @@
+package metamorph_test
+
+import (
+	"testing"
+
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/metamorph"
+)
+
+// FuzzMetamorph drives random mutator chains through the same invariant
+// checkers the cexdiff campaign uses. Each fuzz input selects a smoke
+// grammar, a seed, and a chain of up to four mutators; the chain's effective
+// invariant class is the weakest class in it (formatting churn after a
+// perturbation cannot restore equivalence), and the corresponding checks
+// must hold at the end of the chain:
+//
+//   - chain still Formatting  -> fingerprint + grammar equality;
+//   - chain still Equivalent+ -> finder differential against the original;
+//   - any chain               -> the universal GLR/prefix oracles.
+//
+// Run a longer campaign with:
+//
+//	go test -run='^$' -fuzz=FuzzMetamorph -fuzztime=30s ./internal/metamorph/
+func FuzzMetamorph(f *testing.F) {
+	f.Add(uint64(1), uint8(0), []byte{0})
+	f.Add(uint64(2), uint8(1), []byte{2, 0})
+	f.Add(uint64(3), uint8(2), []byte{4, 8})
+	f.Add(uint64(4), uint8(3), []byte{5, 1, 3})
+	f.Add(uint64(5), uint8(4), []byte{7, 6, 2, 0})
+
+	names := corpus.SmokeNames()
+	mutators := metamorph.All()
+
+	f.Fuzz(func(t *testing.T, seed uint64, which uint8, chain []byte) {
+		if len(chain) == 0 || len(chain) > 4 {
+			t.Skip("chain length out of range")
+		}
+		name := names[int(which)%len(names)]
+		e, _ := corpus.Get(name)
+		in := metamorph.Input{Name: name, Source: e.Source, Grammar: e.Grammar()}
+
+		cur := in
+		class := metamorph.Formatting
+		grammarLevel := false // has a grammar-level mutator run yet?
+		var last *metamorph.Mutant
+		for step, b := range chain {
+			m := mutators[int(b)%len(mutators)]
+			if m.Class == metamorph.Formatting {
+				if cur.Source == "" {
+					continue // mutant not expressible in GDL; nothing to churn
+				}
+				if grammarLevel {
+					// Churning a grammar-level mutant means reparsing its
+					// gdl.Print rendering, and Print canonicalizes interning
+					// order (terminals first) — renumbering symbols and
+					// automaton states. The round-trip is itself a
+					// ConflictsPreserved-class transformation, so the chain
+					// weakens accordingly.
+					if class < metamorph.ConflictsPreserved {
+						class = metamorph.ConflictsPreserved
+					}
+				}
+			}
+			mut, err := m.Apply(cur, seed+uint64(step))
+			if err != nil {
+				t.Fatalf("%s step %d (%s): %v", name, step, m.Name, err)
+			}
+			if mut == nil {
+				continue // inapplicable link; chain class unchanged
+			}
+			if m.Class > class {
+				class = m.Class // weakest link governs
+			}
+			if m.Class != metamorph.Formatting {
+				grammarLevel = true
+			}
+			last = mut
+			cur = metamorph.Input{Name: name, Source: mut.Source, Grammar: mut.Grammar}
+		}
+		if last == nil {
+			t.Skip("whole chain inapplicable")
+		}
+
+		ref := metamorph.Ref{Grammar: name, Mutator: "chain", Seed: seed}
+		cfg := metamorph.CheckConfig{OracleSample: 4, OracleBudget: 200000}
+
+		if class == metamorph.Formatting {
+			for _, v := range metamorph.CheckFormatting(ref, in, last) {
+				t.Errorf("%s: %s: %s", name, v.Invariant, v.Detail)
+			}
+			return
+		}
+
+		opts := core.Options{
+			PerConflictTimeout: core.NoTimeout,
+			CumulativeTimeout:  core.NoTimeout,
+			MaxConfigs:         5000,
+			Parallelism:        1,
+		}
+		ma, err := metamorph.Analyze(last.Grammar, opts)
+		if err != nil {
+			t.Fatalf("%s: analyze mutant: %v", name, err)
+		}
+		if class == metamorph.Equivalent || class == metamorph.ConflictsPreserved {
+			orig, err := metamorph.Analyze(in.Grammar, opts)
+			if err != nil {
+				t.Fatalf("%s: analyze original: %v", name, err)
+			}
+			for _, v := range metamorph.CheckPair(ref, class, orig, ma, cfg) {
+				t.Errorf("%s [%v]: %s: %s", name, class, v.Invariant, v.Detail)
+			}
+		}
+		vs, _ := metamorph.CheckOracles(ref, ma, cfg)
+		for _, v := range vs {
+			t.Errorf("%s [%v]: %s: %s", name, class, v.Invariant, v.Detail)
+		}
+	})
+}

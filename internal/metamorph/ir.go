@@ -1,0 +1,119 @@
+package metamorph
+
+import (
+	"fmt"
+
+	"lrcex/internal/grammar"
+)
+
+// SymIR is one symbol of the mutable grammar representation. Its index in
+// IR.Syms IS its Sym id; mutators may edit names and precedence but never
+// reorder or remove entries.
+type SymIR struct {
+	Name  string
+	Kind  grammar.Kind
+	Prec  int // 0 = undeclared
+	Assoc grammar.Assoc
+}
+
+// ProdIR is one user production (the augmented production 0 is implicit and
+// re-added by Build).
+type ProdIR struct {
+	LHS grammar.Sym
+	RHS []grammar.Sym
+	// PrecSym is the production's effective %prec terminal, or NoSym. Build
+	// passes it through explicitly, so reordering productions cannot change
+	// precedence resolution; mutators that synthesize new productions leave
+	// it NoSym to get the usual last-terminal inference.
+	PrecSym grammar.Sym
+}
+
+// IR is a mutable copy of a Grammar that rebuilds to an identical one: Build
+// replays the symbol table in id order into a fresh Builder, so every Sym id
+// in the rebuilt grammar equals its IR index. Since the LALR construction is
+// deterministic in symbol and production ids, an IR-roundtripped grammar has
+// the same automaton, state numbering, and conflict coordinates as the
+// original — the property the Equivalent-class checks rely on.
+type IR struct {
+	Syms  []SymIR
+	Prods []ProdIR
+	Start grammar.Sym
+}
+
+// FromGrammar copies g into a fresh IR.
+func FromGrammar(g *grammar.Grammar) *IR {
+	ir := &IR{Start: g.StartSym()}
+	for id := 0; id < g.NumSymbols(); id++ {
+		s := grammar.Sym(id)
+		e := SymIR{Name: g.Name(s), Kind: g.KindOf(s)}
+		if e.Kind == grammar.Terminal {
+			e.Prec, e.Assoc = g.Prec(s)
+		}
+		ir.Syms = append(ir.Syms, e)
+	}
+	// Production 0 is the augmented START' -> start $; user productions
+	// start at 1.
+	for pid := 1; pid < g.NumProductions(); pid++ {
+		p := g.Production(pid)
+		ir.Prods = append(ir.Prods, ProdIR{
+			LHS:     p.LHS,
+			RHS:     append([]grammar.Sym(nil), p.RHS...),
+			PrecSym: p.PrecSym,
+		})
+	}
+	return ir
+}
+
+// Clone deep-copies the IR so a mutator can edit freely.
+func (ir *IR) Clone() *IR {
+	out := &IR{
+		Syms:  append([]SymIR(nil), ir.Syms...),
+		Prods: make([]ProdIR, len(ir.Prods)),
+		Start: ir.Start,
+	}
+	for i, p := range ir.Prods {
+		out.Prods[i] = ProdIR{LHS: p.LHS, RHS: append([]grammar.Sym(nil), p.RHS...), PrecSym: p.PrecSym}
+	}
+	return out
+}
+
+// Build reconstructs a Grammar, verifying that interning reproduces every IR
+// index (a renaming that collides two names would silently merge symbols and
+// invalidate every downstream comparison — better to fail loudly here).
+func (ir *IR) Build() (*grammar.Grammar, error) {
+	b := grammar.NewBuilder()
+	// Ids 0 ($) and 1 (START') are pre-interned by NewBuilder.
+	for id := 2; id < len(ir.Syms); id++ {
+		e := ir.Syms[id]
+		var got grammar.Sym
+		if e.Kind == grammar.Terminal {
+			got = b.Terminal(e.Name)
+		} else {
+			got = b.Nonterminal(e.Name)
+		}
+		if got != grammar.Sym(id) {
+			return nil, fmt.Errorf("metamorph: interning %q gave id %d, want %d (name collision?)", e.Name, got, id)
+		}
+	}
+	for id, e := range ir.Syms {
+		if e.Kind == grammar.Terminal && e.Prec > 0 {
+			b.SetPrec(grammar.Sym(id), e.Prec, e.Assoc)
+		}
+	}
+	b.SetStart(ir.Start)
+	for _, p := range ir.Prods {
+		b.Add(p.LHS, p.RHS, p.PrecSym)
+	}
+	return b.Build()
+}
+
+// prodsOf returns the indices into ir.Prods whose LHS is n, in order.
+func (ir *IR) prodsOf(n grammar.Sym) []int {
+	var out []int
+	for i, p := range ir.Prods {
+		if p.LHS == n {
+			out = append(out, i)
+		}
+	}
+	return out
+}

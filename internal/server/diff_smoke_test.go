@@ -1,0 +1,103 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/metamorph"
+)
+
+// TestCacheDifferentialSmoke cross-checks the service's canonical fingerprint
+// against the metamorphic mutator classes: formatting churn (whitespace,
+// comments) must leave the token stream — and therefore the cache key —
+// untouched, while a semantics-changing mutation (dropping a precedence
+// level) must move it. The assertions run over the same /metrics counters
+// operators watch, so this doubles as a smoke test of the scrape surface.
+func TestCacheDifferentialSmoke(t *testing.T) {
+	ent, ok := corpus.Get("eqn")
+	if !ok {
+		t.Fatal("corpus grammar eqn missing")
+	}
+	g, err := gdl.Parse("eqn", ent.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := metamorph.Input{Name: "eqn", Source: ent.Source, Grammar: g}
+
+	mutate := func(name string, seed uint64) *metamorph.Mutant {
+		t.Helper()
+		m, ok := metamorph.ByName(name)
+		if !ok {
+			t.Fatalf("mutator %s missing", name)
+		}
+		mut, err := m.Apply(in, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mut == nil {
+			t.Fatalf("%s inapplicable to eqn", name)
+		}
+		if mut.Source == "" {
+			t.Fatalf("%s mutant not expressible in GDL", name)
+		}
+		return mut
+	}
+
+	s, ts := newTestServer(t, Config{})
+
+	var base AnalyzeResponse
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "eqn", Grammar: ent.Source}, &base)
+	if base.Cached {
+		t.Fatal("first submission was a cache hit")
+	}
+
+	// Formatting-class mutants: same token stream, same fingerprint → HIT.
+	for _, name := range []string{"ws-churn", "comment-churn"} {
+		mut := mutate(name, 17)
+		var resp AnalyzeResponse
+		postAnalyze(t, ts, &AnalyzeRequest{Name: "eqn", Grammar: mut.Source}, &resp)
+		if !resp.Cached {
+			t.Errorf("%s mutant missed the cache (fingerprint not canonical over formatting)", name)
+		}
+		if resp.Fingerprint != base.Fingerprint {
+			t.Errorf("%s mutant changed the fingerprint", name)
+		}
+	}
+
+	// A perturbing mutant (one precedence level dropped) must be a distinct
+	// grammar with a distinct key → MISS.
+	mut := mutate("drop-prec", 17)
+	var perturbed AnalyzeResponse
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "eqn", Grammar: mut.Source}, &perturbed)
+	if perturbed.Cached {
+		t.Fatal("drop-prec mutant hit the original's cache entry")
+	}
+	if perturbed.Fingerprint == base.Fingerprint {
+		t.Fatal("drop-prec mutant kept the original fingerprint")
+	}
+
+	if hits, misses, _ := s.cache.counters(); hits != 2 || misses != 2 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	mres, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mres.Body.Close()
+	raw, err := io.ReadAll(mres.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"cexd_cache_hits_total 2",
+		"cexd_cache_misses_total 2",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("metrics scrape missing %q:\n%s", want, raw)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# diff.sh — run the metamorphic differential campaign and leave the verdict
+# in BENCH_diff.json at the repo root.
+#
+# Every corpus grammar is fanned through every mutator at SEEDS seeds; the
+# invariant checkers (conflict coordinates, canonical-report byte equality at
+# j=1 vs j=8, GLR/prefix oracles, naive-baseline validity) must all hold or
+# cexdiff exits nonzero. See cmd/cexdiff and internal/metamorph.
+#
+# Usage: scripts/diff.sh [seeds] [out]   (defaults: 5 seeds, BENCH_diff.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+SEEDS="${1:-5}"
+OUT="${2:-BENCH_diff.json}"
+
+go run ./cmd/cexdiff -seeds "$SEEDS" -out "$OUT" -v

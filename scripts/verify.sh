@@ -9,6 +9,9 @@
 #   tier 5: cexchaos smoke — the same corpus under a deterministic 5%
 #           fault schedule; fails on a crash, a malformed response, or
 #           a GLR-invalid surviving counterexample
+#   tier 6: cexdiff smoke — metamorphic differentials (3 mutators × 5
+#           grammars × 2 seeds); fails on any invariant violation or a
+#           j=1 vs j=8 canonical-report divergence
 #
 # Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
 set -eu
@@ -34,5 +37,8 @@ go run ./cmd/cexload -selfserve -smoke -levels 4 -maxconfigs 5000 -deadline-ms 5
 
 echo "== tier 5: chaos smoke (deterministic fault schedule) =="
 go run ./cmd/cexchaos -seed 1 -rate 0.05 -smoke -out /dev/null
+
+echo "== tier 6: metamorphic differential smoke =="
+go run ./cmd/cexdiff -smoke -out /dev/null
 
 echo "verify: OK"
