@@ -133,14 +133,20 @@ func runTable1(category string, opts eval.Options) {
 func printStats(rows []eval.Row) {
 	fmt.Println("\nSearch statistics:")
 	var total core.SearchStats
+	var parse, build, search time.Duration
 	for _, r := range rows {
 		if r.Err != nil {
 			continue
 		}
 		fmt.Printf("  %-12s %s\n", r.Name, r.Stats)
 		total.Add(r.Stats)
+		parse += r.ParseWall
+		build += r.BuildWall
+		search += r.Wall
 	}
 	fmt.Printf("  %-12s %s\n", "TOTAL", total)
+	fmt.Printf("  phase times: parse %v, build %v, search %v\n",
+		parse.Round(time.Millisecond), build.Round(time.Millisecond), search.Round(time.Millisecond))
 }
 
 // runSpeedup measures the parallel-FindAll scaling on each grammar of the

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lrcex"
 	"lrcex/internal/cliflags"
@@ -31,8 +32,8 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	// The search-tuning surface (-timeout, -cumulative, -notimeout, -j,
-	// -extendedsearch, -maxconfigs, -fifofrontier, -stats) is shared with
-	// cexeval via internal/cliflags so the two tools stay uniform.
+	// -intra, -extendedsearch, -maxconfigs, -fifofrontier, -stats) is shared
+	// with cexeval via internal/cliflags so the two tools stay uniform.
 	search := cliflags.RegisterSearch(flag.CommandLine)
 	flag.Parse()
 
@@ -54,12 +55,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	parseStart := time.Now()
 	g, err := lrcex.ParseGrammar(name, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cexgen:", err)
 		os.Exit(1)
 	}
+	parseWall := time.Since(parseStart)
+	buildStart := time.Now()
 	res := lrcex.AnalyzeWithOptions(g, search.FinderOptions())
+	buildWall := time.Since(buildStart)
 
 	// Counterexamples assume a reduced grammar: warn like yacc/CUP when
 	// nonterminals are unproductive or unreachable.
@@ -88,7 +93,9 @@ func main() {
 	// FindAll searches the conflicts on a worker pool (-j) and returns the
 	// results in conflict order, so the report order matches the sequential
 	// tool exactly.
+	searchStart := time.Now()
 	exs, err := res.FindAll()
+	searchWall := time.Since(searchStart)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cexgen: %v\n", err)
 		os.Exit(1)
@@ -104,6 +111,8 @@ func main() {
 	}
 	if search.Stats {
 		fmt.Printf("\nsearch stats: %s\n", res.SearchStats())
+		fmt.Printf("phase times: parse %v, build %v, search %v\n",
+			parseWall.Round(time.Millisecond), buildWall.Round(time.Millisecond), searchWall.Round(time.Millisecond))
 	}
 }
 

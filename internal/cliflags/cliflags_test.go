@@ -32,7 +32,7 @@ func TestParityAcrossRegistrations(t *testing.T) {
 	if !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("flag surfaces differ:\n%v\n%v", sa, sb)
 	}
-	want := []string{"timeout", "cumulative", "notimeout", "j", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults"}
+	want := []string{"timeout", "cumulative", "notimeout", "j", "intra", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults"}
 	for _, name := range want {
 		if _, ok := sa[name]; !ok {
 			t.Errorf("flag -%s not registered", name)
@@ -54,6 +54,7 @@ func TestParityWithAnalyzeOptions(t *testing.T) {
 		"cumulative":     "cumulative_timeout_ms",
 		"notimeout":      "no_timeout",
 		"j":              "parallelism",
+		"intra":          "intra_workers",
 		"extendedsearch": "extended_search",
 		"maxconfigs":     "max_configs",
 		"maxarena":       "max_arena_bytes",
@@ -97,7 +98,7 @@ func TestParityWithAnalyzeOptions(t *testing.T) {
 func TestFinderOptionsMapping(t *testing.T) {
 	fs := flag.NewFlagSet("x", flag.ContinueOnError)
 	s := RegisterSearch(fs)
-	if err := fs.Parse([]string{"-timeout", "7s", "-cumulative", "3m", "-j", "3", "-extendedsearch", "-maxconfigs", "123", "-maxarena", "4096", "-fifofrontier"}); err != nil {
+	if err := fs.Parse([]string{"-timeout", "7s", "-cumulative", "3m", "-j", "3", "-intra", "4", "-extendedsearch", "-maxconfigs", "123", "-maxarena", "4096", "-fifofrontier"}); err != nil {
 		t.Fatal(err)
 	}
 	got := s.FinderOptions()
@@ -105,6 +106,7 @@ func TestFinderOptionsMapping(t *testing.T) {
 		PerConflictTimeout: 7 * time.Second,
 		CumulativeTimeout:  3 * time.Minute,
 		Parallelism:        3,
+		IntraWorkers:       4,
 		ExtendedSearch:     true,
 		MaxConfigs:         123,
 		MaxArenaBytes:      4096,
@@ -137,7 +139,7 @@ func TestDefaultsMatchPaper(t *testing.T) {
 		t.Fatalf("defaults = (%v, %v), want (5s, 2m)", s.Timeout, s.Cumulative)
 	}
 	if s.NoTimeout || s.ExtendedSearch || s.FIFOFrontier || s.Stats || s.MaxConfigs != 0 || s.Parallelism != 0 ||
-		s.MaxArenaBytes != 0 || s.Faults != "" {
+		s.IntraWorkers != 0 || s.MaxArenaBytes != 0 || s.Faults != "" {
 		t.Fatalf("non-zero default in %+v", s)
 	}
 }

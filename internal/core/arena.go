@@ -96,6 +96,13 @@ type searchMem struct {
 	// scratch buffers for reductions that rebuild a front-stack prefix.
 	nodeBuf  []node
 	derivBuf []*Deriv
+
+	// emitBuf receives the sequential path's expansion candidates (the
+	// level-synchronous mode uses per-batch buffers instead); levelBuf holds
+	// the configurations of the cost level being expanded. Both are retained
+	// across conflicts like the arenas.
+	emitBuf  []config
+	levelBuf []*config
 }
 
 // resetSearch prepares the memory for the next conflict: arenas rewind,

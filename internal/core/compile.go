@@ -1,0 +1,40 @@
+package core
+
+import "lrcex/internal/lr"
+
+// Compiled is the immutable, shareable compilation artifact of one grammar:
+// the parse table plus the state-item graph of Section 6 ("Data structures")
+// that every search walks. Building the graph is a fixed per-grammar cost —
+// on large grammars like Java's it dominates the latency of an
+// otherwise-cached analysis — so services hold Compiled values in a cache
+// keyed by the grammar fingerprint and mint finders from them: option-varied
+// requests then skip automaton bookkeeping entirely.
+//
+// A Compiled value is safe for concurrent use by any number of finders: the
+// table, automaton, and graph are all read-only after Compile returns (the
+// same immutability invariant the parallel FindAll workers already rely on,
+// enforced by the race-detector verify tier and spot-checked by
+// graph.assertImmutable).
+type Compiled struct {
+	tbl *lr.Table
+	g   *graph
+}
+
+// Compile builds the search artifact for a parse table: the state-item lookup
+// tables (forward/reverse transitions, production steps, interned leaves) the
+// counterexample searches traverse.
+func Compile(tbl *lr.Table) *Compiled {
+	return &Compiled{tbl: tbl, g: newGraph(tbl.A)}
+}
+
+// Table returns the parse table the artifact was compiled from.
+func (c *Compiled) Table() *lr.Table { return c.tbl }
+
+// NewFinderFromCompiled returns a Finder over a pre-built compilation
+// artifact, sharing its graph instead of rebuilding it. Each finder keeps its
+// own options, cumulative time-bank, and statistics; only the immutable
+// artifact is shared.
+func NewFinderFromCompiled(c *Compiled, opts Options) *Finder {
+	o := opts.withDefaults()
+	return &Finder{tbl: c.tbl, g: c.g, opts: o, bank: newTimeBank(o.CumulativeTimeout)}
+}

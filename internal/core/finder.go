@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,14 +33,33 @@ type Options struct {
 	// wall-clock time its conflicts consumed, so the paper's global limit is
 	// respected regardless of how many searches run at once.
 	CumulativeTimeout time.Duration
-	// Parallelism is the number of conflicts searched concurrently by
-	// FindAll (default GOMAXPROCS; 1 forces the sequential path). Results
-	// are always returned in conflict order, and per-conflict outcomes are
-	// deterministic: each conflict's search is single-threaded and
-	// independent, so parallelism changes wall-clock, never answers —
-	// except where answers depend on wall-clock itself (time limits and the
-	// shared cumulative budget).
+	// Parallelism sizes the shared token pool of the two-level scheduler
+	// (default GOMAXPROCS; 1 forces the sequential path). FindAll runs up to
+	// this many conflicts concurrently — hardest first, so the long-pole
+	// conflict never lands on an otherwise-drained pool — and, with
+	// IntraWorkers set, per-conflict worker groups borrow the leftover
+	// tokens for intra-conflict helpers. Results are always returned in
+	// conflict order, and per-conflict outcomes are deterministic:
+	// parallelism changes wall-clock, never answers — except where answers
+	// depend on wall-clock itself (time limits and the shared cumulative
+	// budget).
 	Parallelism int
+	// IntraWorkers selects the level-synchronous parallel mode of the
+	// unifying search and sizes each conflict's worker group (0 or 1 =
+	// classic sequential expansion). With IntraWorkers ≥ 2, every
+	// configuration at the current cost level is expanded speculatively — by
+	// the conflict's own worker plus up to IntraWorkers-1 helpers borrowed
+	// from the Parallelism token pool — and the successor batches are merged
+	// back in level order. Reports are byte-identical for every IntraWorkers
+	// ≥ 2 regardless of how many helpers the pool actually grants. Under
+	// FIFOFrontier the level order equals the sequential pop order, so the
+	// reports also match IntraWorkers=0 exactly; the default heap frontier's
+	// level drain is a different — equally minimal, fully deterministic —
+	// tie-break among equal-cost configurations, like FIFOFrontier itself.
+	// Requires a strictly monotone cost model (every action increment
+	// positive, as in DefaultCosts); otherwise the search silently falls
+	// back to sequential expansion.
+	IntraWorkers int
 	// ExtendedSearch lifts the restriction of reverse transitions to states
 	// on the shortest lookahead-sensitive path (the -extendedsearch flag).
 	ExtendedSearch bool
@@ -78,6 +98,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.IntraWorkers < 0 {
+		o.IntraWorkers = 0
 	}
 	o.Costs = o.Costs.withDefaults()
 	return o
@@ -272,6 +295,20 @@ type scratch struct {
 	// visited table. Nothing allocated from it survives a find call (winning
 	// derivations are deep-copied), so it recycles wholesale per conflict.
 	mem searchMem
+
+	// intraMems are the expansion arenas of the level-synchronous mode: one
+	// per worker-group slot (slot 0 belongs to the conflict's own worker),
+	// so speculative generation never allocates from the merge-side mem.
+	// Lazily grown to Options.IntraWorkers and retained across conflicts.
+	intraMems []*searchMem
+}
+
+// intraMemories returns n expansion mems, allocating the missing ones.
+func (sc *scratch) intraMemories(n int) []*searchMem {
+	for len(sc.intraMems) < n {
+		sc.intraMems = append(sc.intraMems, &searchMem{})
+	}
+	return sc.intraMems[:n]
 }
 
 // busySet returns the lazily allocated expansion recursion guard.
@@ -345,10 +382,11 @@ func (f *Finder) addStats(s SearchStats) {
 	f.statsMu.Unlock()
 }
 
-// NewFinder returns a Finder over the table's automaton.
+// NewFinder returns a Finder over the table's automaton, compiling the
+// search graph on the spot. Callers analyzing one grammar repeatedly should
+// Compile once and use NewFinderFromCompiled.
 func NewFinder(tbl *lr.Table, opts Options) *Finder {
-	o := opts.withDefaults()
-	return &Finder{tbl: tbl, g: newGraph(tbl.A), opts: o, bank: newTimeBank(o.CumulativeTimeout)}
+	return NewFinderFromCompiled(Compile(tbl), opts)
 }
 
 // Table returns the parse table the finder analyzes.
@@ -374,10 +412,12 @@ func (f *Finder) FindAllContext(ctx context.Context) ([]*Example, error) {
 	}
 
 	if workers <= 1 {
+		// Single outer worker: no pool contention, so the intra-conflict
+		// group (if any) borrows helpers freely (nil pool = unbounded).
 		out := make([]*Example, 0, len(conflicts))
 		sc := &scratch{}
 		for _, c := range conflicts {
-			ex, err := f.find(ctx, c, sc)
+			ex, err := f.find(ctx, c, sc, nil)
 			if err != nil {
 				return out, conflictErr(f.tbl, c, err)
 			}
@@ -391,19 +431,30 @@ func (f *Finder) FindAllContext(ctx context.Context) ([]*Example, error) {
 	poolCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The token pool holds Options.Parallelism tokens: one per outer worker
+	// (held for the worker's lifetime; workers ≤ capacity, so acquisition
+	// never blocks) with the remainder available for intra-conflict helper
+	// borrowing. Conflicts are claimed in longest-first order to cut
+	// makespan; out/errs stay indexed by original conflict position.
+	pool := newTokenPool(f.opts.Parallelism)
+	order := f.scheduleOrder(conflicts)
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			pool.acquire()
+			defer pool.release()
 			sc := &scratch{} // per-worker: never shared across goroutines
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(conflicts) {
+				k := int(next.Add(1)) - 1
+				if k >= len(order) {
 					return
 				}
-				ex, err := f.find(poolCtx, conflicts[i], sc)
+				i := order[k]
+				ex, err := f.find(poolCtx, conflicts[i], sc, pool)
 				if err != nil {
 					errs[i] = err
 					cancel() // stop the remaining workers cooperatively
@@ -444,20 +495,55 @@ func conflictErr(tbl *lr.Table, c lr.Conflict, err error) error {
 	return fmt.Errorf("conflict in state %d under %s: %w", c.State, tbl.A.G.Name(c.Sym), err)
 }
 
+// scheduleOrder returns conflict indices in the parallel path's claiming
+// order: hardest first, so the long-pole conflict starts immediately instead
+// of landing last on an otherwise-drained pool (the classic longest-
+// processing-time makespan heuristic). Difficulty is seeded by the size of
+// the conflict node's reverse-reachable set — the portion of the state-item
+// graph the searches can touch, which tracks search effort and is a pure
+// function of the grammar — so the order (ties broken by conflict index) is
+// deterministic. Results are always reported in conflict order regardless;
+// scheduling order only affects wall-clock, plus which conflicts a mid-run
+// cumulative-budget exhaustion skips — a boundary that is wall-clock-
+// dependent under parallelism no matter the order.
+func (f *Finder) scheduleOrder(conflicts []lr.Conflict) []int {
+	order := make([]int, len(conflicts))
+	size := make([]int, len(conflicts))
+	var seen []bool
+	for i, c := range conflicts {
+		order[i] = i
+		n, ok := f.g.lookup(c.State, c.Item1)
+		if !ok {
+			continue
+		}
+		seen = f.g.reverseReachableInto(seen, n)
+		for _, b := range seen {
+			if b {
+				size[i]++
+			}
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return size[order[a]] > size[order[b]] })
+	return order
+}
+
 // Find constructs a counterexample for one conflict.
 func (f *Finder) Find(c lr.Conflict) (*Example, error) {
 	return f.FindContext(context.Background(), c)
 }
 
 // FindContext is Find with cooperative cancellation. Concurrent FindContext
-// calls on one Finder are safe and share the cumulative time-bank.
+// calls on one Finder are safe and share the cumulative time-bank. The
+// intra-conflict worker group (Options.IntraWorkers) borrows helpers without
+// a token pool here: a single-conflict call has no outer parallelism to
+// arbitrate against.
 func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, error) {
 	sc, _ := f.scPool.Get().(*scratch)
 	if sc == nil {
 		sc = &scratch{}
 	}
 	defer f.scPool.Put(sc)
-	return f.find(ctx, c, sc)
+	return f.find(ctx, c, sc, nil)
 }
 
 // find constructs a counterexample for one conflict, running the search
@@ -467,8 +553,8 @@ func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, erro
 // fresh memory (kind NonunifyingRecovered) while every other conflict
 // proceeds untouched. Only a second panic, during the already-degraded
 // retry, surfaces the typed *ErrSearchPanic as an error.
-func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example, error) {
-	ex, err := f.findGuarded(ctx, c, sc)
+func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch, pool *tokenPool) (*Example, error) {
+	ex, err := f.findGuarded(ctx, c, sc, pool)
 	var sp *ErrSearchPanic
 	if err == nil || !errors.As(err, &sp) {
 		return ex, err
@@ -489,14 +575,14 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch) (*Example
 }
 
 // findGuarded is one search attempt with panics converted to *ErrSearchPanic.
-func (f *Finder) findGuarded(ctx context.Context, c lr.Conflict, sc *scratch) (ex *Example, err error) {
+func (f *Finder) findGuarded(ctx context.Context, c lr.Conflict, sc *scratch, pool *tokenPool) (ex *Example, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ex = nil
 			err = &ErrSearchPanic{State: c.State, Sym: c.Sym, Value: r, Stack: faults.Stack()}
 		}
 	}()
-	return f.search(ctx, c, sc, true)
+	return f.search(ctx, c, sc, pool, true)
 }
 
 // findDegraded re-runs only the nonunifying construction after a contained
@@ -509,7 +595,7 @@ func (f *Finder) findDegraded(ctx context.Context, c lr.Conflict, sc *scratch, s
 			ex, err = nil, sp
 		}
 	}()
-	ex, err = f.search(ctx, c, sc, false)
+	ex, err = f.search(ctx, c, sc, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -525,7 +611,7 @@ func (f *Finder) findDegraded(ctx context.Context, c lr.Conflict, sc *scratch, s
 // the per-conflict time limit is a deadline context derived from it.
 // runUnify=false is the degraded mode of the recovery ladder: only the path
 // searches and the nonunifying construction run (the caller stamps the kind).
-func (f *Finder) search(ctx context.Context, c lr.Conflict, sc *scratch, runUnify bool) (*Example, error) {
+func (f *Finder) search(ctx context.Context, c lr.Conflict, sc *scratch, pool *tokenPool, runUnify bool) (*Example, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -556,7 +642,13 @@ func (f *Finder) search(ctx context.Context, c lr.Conflict, sc *scratch, runUnif
 			defer cancel()
 		}
 		search := newUnifySearch(f.g, c, f.opts.Costs, allowed, f.opts.MaxConfigs, f.opts.MaxArenaBytes, &sc.mem, f.opts.FIFOFrontier)
-		res := search.run(searchCtx)
+		var res *unifyResult
+		if n := f.opts.IntraWorkers; n >= 2 && f.opts.Costs.minStep() >= 1 {
+			grp := newIntraGroup(searchCtx, search, sc.intraMemories(n), pool)
+			res = search.runLevelSync(searchCtx, grp)
+		} else {
+			res = search.run(searchCtx)
+		}
 		ex.Expanded = search.Expanded
 		ex.Stats = search.stats()
 		if search.Cancelled {

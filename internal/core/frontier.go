@@ -39,9 +39,21 @@ import "lrcex/internal/faults"
 // frontier is the priority queue of the unifying search. Implementations
 // must pop in nondecreasing cost order; the tie-break among equal costs is
 // implementation-defined (see above).
+//
+// drainLevel removes every configuration of the current minimum cost at once
+// — the unit of work of the level-synchronous parallel mode. Under a strictly
+// monotone cost model (every action increment positive, see
+// CostModel.minStep) a drained level is closed: expanding its members can
+// only push strictly costlier configurations, so the drain is safe. The
+// order within the returned slice is the implementation's pop order for the
+// bucket queue (FIFO — draining is indistinguishable from popping one by
+// one), and consecutive-pop order for the heap (which differs from the
+// sequential loop's push-interleaved pops only in the tie-break among equal
+// costs, deterministically so).
 type frontier interface {
 	push(c *config)
 	pop() *config // nil when empty
+	drainLevel(dst []*config) []*config
 	size() int
 	peakSize() int
 }
@@ -118,6 +130,22 @@ func (h *heapFrontier) pop() *config {
 	return c
 }
 
+// drainLevel pops the root and then every further configuration of the same
+// cost, into dst (reused, returned re-sliced). Equal-cost ties follow the
+// heap's consecutive-pop order.
+func (h *heapFrontier) drainLevel(dst []*config) []*config {
+	dst = dst[:0]
+	c := h.pop()
+	if c == nil {
+		return dst
+	}
+	dst = append(dst, c)
+	for len(h.items) > 0 && h.items[0].cost == c.cost {
+		dst = append(dst, h.pop())
+	}
+	return dst
+}
+
 // bqBucket is one FIFO bucket: a slice drained through head and recycled
 // in place once empty.
 type bqBucket struct {
@@ -173,6 +201,31 @@ func (q *bucketQueue) push(c *config) {
 	q.n++
 	if q.n > q.peak {
 		q.peak = q.n
+	}
+}
+
+// drainLevel empties the current cost bucket into dst (reused, returned
+// re-sliced) in push order. All pending configurations of one bucket share a
+// single cost (the span covers one window of consecutive values), so the
+// drain returns exactly the configurations a sequence of pops would, in the
+// same FIFO order.
+func (q *bucketQueue) drainLevel(dst []*config) []*config {
+	dst = dst[:0]
+	if q.n == 0 {
+		return dst
+	}
+	for {
+		b := &q.buckets[q.cur%q.span]
+		if b.head < len(b.items) {
+			pending := b.items[b.head:]
+			dst = append(dst, pending...)
+			clear(pending)
+			q.n -= len(pending)
+			b.items = b.items[:0]
+			b.head = 0
+			return dst
+		}
+		q.cur++
 	}
 }
 

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Intra-conflict parallelism: the worker group and token pool of the
+// two-level scheduler.
+//
+// The level-synchronous mode (Options.IntraWorkers ≥ 2) splits each frontier
+// step of the unifying search into a parallel generation phase and a
+// sequential merge phase. Generation — expander.expand over one
+// configuration — reads only the immutable graph, the cost model, and the
+// configuration itself (persistent, structure-shared, never mutated), so any
+// number of workers can expand disjoint level items concurrently, each
+// allocating from its own searchMem. The merge phase then walks the level in
+// order on the conflict's own goroutine: per item it replays the sequential
+// loop's checks, the success test, and the visited-table admission of the
+// item's batch. Everything observable — the report, the counters, the
+// deterministic cut points — is decided by the merge phase alone, which is
+// why the answers cannot depend on the worker count, the token supply, or
+// goroutine scheduling.
+//
+// The two levels of the scheduler share one token pool sized
+// Options.Parallelism: each outer FindAll worker holds a token for its
+// lifetime, and worker groups borrow extra tokens for their helpers
+// opportunistically (tryAcquire, topped up at every level). A busy pool
+// merely means a level is expanded with fewer helpers — never a different
+// result.
+
+// tokenPool is the shared concurrency budget. A nil pool is unbounded: every
+// borrow succeeds (the single-conflict FindContext path, and FindAll's
+// single-worker path, where no outer parallelism competes for tokens).
+type tokenPool struct{ ch chan struct{} }
+
+func newTokenPool(n int) *tokenPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &tokenPool{ch: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.ch <- struct{}{}
+	}
+	return p
+}
+
+// acquire blocks until a token is available. The outer FindAll workers hold
+// one token each; their count never exceeds the pool capacity, so their
+// acquisition never blocks in practice.
+func (p *tokenPool) acquire() {
+	if p != nil {
+		<-p.ch
+	}
+}
+
+// tryAcquire takes a token without blocking, reporting success.
+func (p *tokenPool) tryAcquire() bool {
+	if p == nil {
+		return true
+	}
+	select {
+	case <-p.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *tokenPool) release() {
+	if p != nil {
+		p.ch <- struct{}{}
+	}
+}
+
+// intraBatch is one level item's speculative expansion: the successor
+// candidates in generation order, plus the cons cells their construction
+// allocated. The cells are folded into the merge-side counter only if the
+// batch is merged, so AllocBytes is independent of the worker count and of
+// where the search is cut.
+type intraBatch struct {
+	succs  []config
+	icells int64
+	dcells int64
+}
+
+// intraSmallLevel is the level size below which the coordinator expands
+// inline without waking the helpers: the wake/barrier handshake costs more
+// than the work. Unobservable — the same expansion code produces the same
+// batches either way.
+const intraSmallLevel = 4
+
+// intraGroup is one conflict's worker group. The conflict's own goroutine is
+// the coordinator (slot 0): it drains levels, participates in generation, and
+// runs the merge phase. Helpers (slots 1..) are persistent goroutines woken
+// once per level and quiesced behind a barrier before the merge starts, so
+// the merge phase — and any early return out of it — runs with the group
+// idle.
+type intraGroup struct {
+	ctx  context.Context
+	pool *tokenPool
+	ex   []*expander // per-slot expansion contexts; slot 0 is the coordinator's
+
+	target  int // maximum helper count (IntraWorkers-1)
+	helpers int // helper goroutines started so far
+	tokens  int // pool tokens held by those helpers
+
+	level   []*config
+	batches []intraBatch
+	next    atomic.Int64 // index of the next unclaimed level item
+
+	start chan struct{}  // one send per helper wakes it for the current level
+	wg    sync.WaitGroup // per-level barrier over the woken helpers
+	hwg   sync.WaitGroup // helper lifetimes; stop waits on it
+	quit  chan struct{}
+
+	// aborted is set when a worker observes the context cancelled
+	// mid-generation; the level is then abandoned without merging, so a
+	// partially generated batch can never leak into the frontier.
+	aborted atomic.Bool
+
+	mu       sync.Mutex
+	panicked bool
+	pval     any
+}
+
+// newIntraGroup builds the worker group for one conflict's search. mems must
+// hold one searchMem per slot (IntraWorkers of them); they are reset here.
+// Helpers are not started yet — they are topped up lazily as levels arrive
+// and tokens free up.
+func newIntraGroup(ctx context.Context, u *unifySearch, mems []*searchMem, pool *tokenPool) *intraGroup {
+	g := &intraGroup{
+		ctx:    ctx,
+		pool:   pool,
+		target: len(mems) - 1,
+		start:  make(chan struct{}, len(mems)),
+		quit:   make(chan struct{}),
+	}
+	g.ex = make([]*expander, len(mems))
+	for i, m := range mems {
+		// Expansion mems use only the arenas and the allocation counter;
+		// the frontier/visited halves stay empty.
+		m.resetSearch(u.costs.maxStep(), false)
+		g.ex[i] = &expander{g: u.g, costs: u.costs, tIdx: u.tIdx, allowedState: u.allowedState, mem: m}
+	}
+	return g
+}
+
+// expandLevel runs the generation phase for one drained level and returns the
+// per-item batches, aligned with level. ok is false when the context was
+// observed cancelled mid-generation (the caller abandons the level). A panic
+// raised by any worker's generation — a search bug or an injected fault — is
+// re-raised here on the coordinator goroutine after the barrier, so the
+// finder's per-conflict containment rung sees it exactly like a sequential
+// panic (the original panic site's stack is traded for the conflict identity
+// the typed error carries).
+func (g *intraGroup) expandLevel(level []*config) (_ []intraBatch, ok bool) {
+	g.level = level
+	if n := len(level); cap(g.batches) < n {
+		g.batches = append(g.batches[:cap(g.batches)], make([]intraBatch, n-cap(g.batches))...)
+	}
+	g.batches = g.batches[:len(level)]
+	g.next.Store(0)
+
+	fanOut := 0
+	if len(level) >= intraSmallLevel {
+		g.topUp()
+		fanOut = g.helpers
+	}
+	g.wg.Add(fanOut)
+	for i := 0; i < fanOut; i++ {
+		g.start <- struct{}{}
+	}
+	g.runSlot(0)
+	g.wg.Wait()
+
+	g.mu.Lock()
+	panicked, pval := g.panicked, g.pval
+	g.mu.Unlock()
+	if panicked {
+		panic(pval)
+	}
+	return g.batches, !g.aborted.Load()
+}
+
+// runSlot claims and expands level items until none remain. Generation
+// panics are captured (first one wins) instead of unwinding a helper
+// goroutine, and turn into an abort; expandLevel re-raises after the barrier.
+func (g *intraGroup) runSlot(slot int) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.mu.Lock()
+			if !g.panicked {
+				g.panicked, g.pval = true, r
+			}
+			g.mu.Unlock()
+			g.aborted.Store(true)
+		}
+	}()
+	e := g.ex[slot]
+	for polled := 0; ; {
+		if g.aborted.Load() {
+			return
+		}
+		i := int(g.next.Add(1)) - 1
+		if i >= len(g.level) {
+			return
+		}
+		if polled++; polled&0x3f == 0 && g.ctx.Err() != nil {
+			g.aborted.Store(true)
+			return
+		}
+		b := &g.batches[i]
+		ic0, dc0 := e.mem.ac.icells, e.mem.ac.dcells
+		e.out = b.succs[:0]
+		e.expand(g.level[i])
+		b.succs = e.out
+		b.icells = e.mem.ac.icells - ic0
+		b.dcells = e.mem.ac.dcells - dc0
+	}
+}
+
+// topUp grows the helper group toward its target, borrowing one pool token
+// per helper. Borrowing is opportunistic: token availability changes how fast
+// a level is expanded, never what is expanded.
+func (g *intraGroup) topUp() {
+	for g.helpers < g.target {
+		if !g.pool.tryAcquire() {
+			return
+		}
+		if g.pool != nil {
+			g.tokens++
+		}
+		slot := 1 + g.helpers
+		g.helpers++
+		g.hwg.Add(1)
+		go func() {
+			defer g.hwg.Done()
+			g.helperLoop(slot)
+		}()
+	}
+}
+
+func (g *intraGroup) helperLoop(slot int) {
+	for {
+		select {
+		case <-g.quit:
+			return
+		case <-g.start:
+			g.runSlot(slot)
+			g.wg.Done()
+		}
+	}
+}
+
+// stop shuts the helpers down and returns their tokens to the pool. It runs
+// via defer from runLevelSync, including while a merge-phase panic unwinds —
+// the helpers are idle behind the level barrier at that point, so the
+// shutdown is quiescent.
+func (g *intraGroup) stop() {
+	close(g.quit)
+	g.hwg.Wait()
+	for ; g.tokens > 0; g.tokens-- {
+		g.pool.release()
+	}
+}

@@ -1,0 +1,264 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/lr"
+)
+
+// The intra-conflict determinism suite: with deterministic budgets (NoTimeout
+// + MaxConfigs) the canonical report must be byte-identical across every
+// intra-worker count and outer worker count. The grammars are the long-pole
+// conflicts of BENCH_unify.json — the ones the level-synchronous mode exists
+// for. Java.2's 588 conflicts make whole-grammar runs expensive (the path
+// searches alone cost seconds), so its full (j × intra) matrix samples
+// conflicts at a stride and the whole-grammar run checks two corner points.
+//
+// Two frontier-specific guarantees are locked:
+//
+//   - FIFO frontier: a drained cost level is exactly the sequential pop
+//     order, so level-synchronous reports match the sequential mode
+//     (IntraWorkers 0 and 1) byte for byte, for every worker count.
+//   - Heap frontier (default): the level drain is a deterministic equal-cost
+//     tie-break of its own, so IntraWorkers ≥ 2 reports are identical to
+//     each other (any count, any outer j), though they may legitimately
+//     differ from the sequential heap order on tie-heavy conflicts.
+
+// intraDeterminismConfigs bounds per-conflict work so the suite stays fast
+// under -race while still expanding many cost levels per conflict.
+const intraDeterminismConfigs = 20000
+
+func intraTable(t *testing.T, name string) *lr.Table {
+	t.Helper()
+	e, ok := corpus.Get(name)
+	if !ok {
+		t.Fatalf("corpus grammar %q not found", name)
+	}
+	g, err := gdl.Parse(e.Name, e.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := lr.BuildTable(lr.Build(g))
+	if len(tbl.Conflicts) == 0 {
+		t.Fatalf("%s: no conflicts to search", name)
+	}
+	return tbl
+}
+
+func intraOpts(fifo bool, j, intra int) core.Options {
+	return core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         intraDeterminismConfigs,
+		FIFOFrontier:       fifo,
+		Parallelism:        j,
+		IntraWorkers:       intra,
+	}
+}
+
+func intraReport(t *testing.T, tbl *lr.Table, opts core.Options) string {
+	t.Helper()
+	exs, err := core.NewFinder(tbl, opts).FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.CanonicalReport(tbl.A, exs)
+}
+
+// TestIntraDeterminismFIFO: under the FIFO frontier every (outer j,
+// intra-worker) combination — including the sequential modes — must produce
+// the same bytes for the whole grammar.
+func TestIntraDeterminismFIFO(t *testing.T) {
+	for _, name := range []string{"Java.4", "C.4"} {
+		t.Run(name, func(t *testing.T) {
+			tbl := intraTable(t, name)
+			ref := intraReport(t, tbl, intraOpts(true, 1, 0))
+			for _, j := range []int{1, 8} {
+				for _, intra := range []int{1, 2, 4, 8} {
+					if got := intraReport(t, tbl, intraOpts(true, j, intra)); got != ref {
+						t.Fatalf("j=%d intra=%d: report differs from sequential FIFO reference\n--- reference ---\n%s\n--- j=%d intra=%d ---\n%s",
+							j, intra, ref, j, intra, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIntraDeterminismHeap: under the default heap frontier every
+// level-synchronous combination must agree with every other (the reference is
+// j=1 intra=2); IntraWorkers=1 must agree with the plain sequential mode.
+func TestIntraDeterminismHeap(t *testing.T) {
+	for _, name := range []string{"Java.4", "C.4"} {
+		t.Run(name, func(t *testing.T) {
+			tbl := intraTable(t, name)
+			seq := intraReport(t, tbl, intraOpts(false, 1, 0))
+			if got := intraReport(t, tbl, intraOpts(false, 1, 1)); got != seq {
+				t.Fatalf("intra=1 must be the sequential mode, but its report differs")
+			}
+			ref := intraReport(t, tbl, intraOpts(false, 1, 2))
+			for _, j := range []int{1, 8} {
+				for _, intra := range []int{2, 4, 8} {
+					if got := intraReport(t, tbl, intraOpts(false, j, intra)); got != ref {
+						t.Fatalf("j=%d intra=%d: report differs from the j=1 intra=2 reference\n--- reference ---\n%s\n--- j=%d intra=%d ---\n%s",
+							j, intra, ref, j, intra, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// java2Sample returns every java2Stride-th conflict of Java.2: a
+// deterministic spread over the grammar's 588 conflicts that keeps the
+// per-conflict matrix affordable.
+const java2Stride = 25
+
+func java2Sample(tbl *lr.Table) []lr.Conflict {
+	var sample []lr.Conflict
+	for i := 0; i < len(tbl.Conflicts); i += java2Stride {
+		sample = append(sample, tbl.Conflicts[i])
+	}
+	return sample
+}
+
+func intraSampleReport(t *testing.T, tbl *lr.Table, sample []lr.Conflict, opts core.Options) string {
+	t.Helper()
+	f := core.NewFinder(tbl, opts)
+	exs := make([]*core.Example, len(sample))
+	for i, c := range sample {
+		ex, err := f.Find(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exs[i] = ex
+	}
+	return core.CanonicalReport(tbl.A, exs)
+}
+
+// TestIntraDeterminismJava2 runs the full intra-worker matrix over a
+// deterministic sample of Java.2's conflicts (per-conflict Find, so the
+// sample skips the other 560-odd conflicts' path searches), then checks the
+// whole-grammar report at two (j, intra) corner points against the
+// sequential FIFO reference.
+func TestIntraDeterminismJava2(t *testing.T) {
+	tbl := intraTable(t, "Java.2")
+	sample := java2Sample(tbl)
+
+	// FIFO: every intra count equals sequential.
+	ref := intraSampleReport(t, tbl, sample, intraOpts(true, 1, 0))
+	for _, intra := range []int{1, 2, 4, 8} {
+		if got := intraSampleReport(t, tbl, sample, intraOpts(true, 1, intra)); got != ref {
+			t.Fatalf("FIFO intra=%d: sampled report differs from sequential reference", intra)
+		}
+	}
+	// Heap: level-synchronous counts agree with each other.
+	href := intraSampleReport(t, tbl, sample, intraOpts(false, 1, 2))
+	for _, intra := range []int{4, 8} {
+		if got := intraSampleReport(t, tbl, sample, intraOpts(false, 1, intra)); got != href {
+			t.Fatalf("heap intra=%d: sampled report differs from intra=2", intra)
+		}
+	}
+
+	if testing.Short() {
+		return // the whole-grammar corner points cost ~2.8 s each
+	}
+	whole := intraOpts(true, 1, 0)
+	whole.MaxConfigs = 1200
+	wref := intraReport(t, tbl, whole)
+	for _, pt := range [][2]int{{1, 2}, {8, 8}} {
+		o := intraOpts(true, pt[0], pt[1])
+		o.MaxConfigs = 1200
+		if got := intraReport(t, tbl, o); got != wref {
+			t.Fatalf("whole-grammar j=%d intra=%d: report differs from sequential FIFO reference", pt[0], pt[1])
+		}
+	}
+}
+
+// TestIntraStatsDeterminism locks the determinism of the observable search
+// counters in level-synchronous mode: Expanded and AllocBytes must not depend
+// on the worker count (only merged batches are folded into the allocation
+// counter, and the merge replays the sequential admission checks).
+func TestIntraStatsDeterminism(t *testing.T) {
+	tbl := intraTable(t, "Java.4")
+	type counters struct {
+		kind     core.ExampleKind
+		expanded int64
+		alloc    int64
+	}
+	snapshot := func(intra int) []counters {
+		exs, err := core.NewFinder(tbl, intraOpts(false, 1, intra)).FindAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]counters, len(exs))
+		for i, ex := range exs {
+			out[i] = counters{kind: ex.Kind, expanded: ex.Stats.Expanded, alloc: ex.Stats.AllocBytes}
+		}
+		return out
+	}
+	ref := snapshot(2)
+	for _, intra := range []int{4, 8} {
+		got := snapshot(intra)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("conflict %d: counters differ between intra=2 and intra=%d: %+v vs %+v",
+					i, intra, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestIntraFallbackNonMonotoneCosts: a cost model with a non-positive
+// increment cannot close cost levels, so IntraWorkers must silently fall back
+// to the sequential expansion path — same report, no hang.
+func TestIntraFallbackNonMonotoneCosts(t *testing.T) {
+	tbl := intraTable(t, "figure1")
+	costs := core.CostModel{Shift: -1} // withDefaults keeps explicit negatives
+	mk := func(intra int) core.Options {
+		o := intraOpts(false, 1, intra)
+		o.Costs = costs
+		return o
+	}
+	ref := intraReport(t, tbl, mk(0))
+	if got := intraReport(t, tbl, mk(8)); got != ref {
+		t.Fatalf("non-monotone cost model: intra=8 diverged from sequential\n--- sequential ---\n%s\n--- intra=8 ---\n%s", ref, got)
+	}
+}
+
+// TestIntraTokenStarvation pins the scheduler invariant that answers never
+// depend on token supply: with Parallelism=2 and many conflicts, the outer
+// workers hold every token and the intra groups run with zero helpers — the
+// reports must still match an unconstrained run.
+func TestIntraTokenStarvation(t *testing.T) {
+	tbl := intraTable(t, "C.4")
+	starved := intraOpts(false, 2, 4)
+	roomy := intraOpts(false, 8, 4)
+	ref := intraReport(t, tbl, roomy)
+	if got := intraReport(t, tbl, starved); got != ref {
+		t.Fatalf("token-starved run diverged from unconstrained run\n--- roomy ---\n%s\n--- starved ---\n%s", ref, got)
+	}
+}
+
+func ExampleOptions_intraWorkers() {
+	e, _ := corpus.Get("figure1")
+	g, _ := gdl.Parse(e.Name, e.Source)
+	tbl := lr.BuildTable(lr.Build(g))
+	opts := core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         200000,
+		Parallelism:        4,
+		IntraWorkers:       4,
+	}
+	exs, err := core.NewFinder(tbl, opts).FindAll()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(exs), "conflicts analyzed")
+	// Output: 3 conflicts analyzed
+}

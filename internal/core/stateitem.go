@@ -29,6 +29,16 @@ type graph struct {
 	stateBase []int32 // state -> first node id
 	numNodes  int
 
+	// Flat per-node lookup tables. stateOf used to binary-search stateBase and
+	// itemOf/lookaheadOf/dotSym re-derived the state on every call — a lookup
+	// that sits under every expansion step of the unifying search and every
+	// BFS edge of the path searches. The tables trade O(numNodes) construction
+	// words for O(1) loads on those hot paths.
+	states     []int32           // node -> state id
+	items      []lr.Item         // node -> item
+	lookaheads []grammar.TermSet // node -> static LALR lookahead of the item
+	dotSyms    []grammar.Sym     // node -> symbol after the dot (NoSym for reduce items)
+
 	// fwdTrans[n] is the successor on the item's dot symbol, or noNode for
 	// reduce items.
 	fwdTrans []node
@@ -62,6 +72,21 @@ func newGraph(a *lr.Automaton) *graph {
 		g.stateBase[i+1] = g.stateBase[i] + int32(len(st.Items))
 	}
 	g.numNodes = int(g.stateBase[len(a.States)])
+
+	g.states = make([]int32, g.numNodes)
+	g.items = make([]lr.Item, g.numNodes)
+	g.lookaheads = make([]grammar.TermSet, g.numNodes)
+	g.dotSyms = make([]grammar.Sym, g.numNodes)
+	for _, st := range a.States {
+		base := g.stateBase[st.ID]
+		for idx, it := range st.Items {
+			n := base + int32(idx)
+			g.states[n] = int32(st.ID)
+			g.items[n] = it
+			g.lookaheads[n] = st.Lookahead[idx]
+			g.dotSyms[n] = a.DotSym(it)
+		}
+	}
 
 	g.fwdTrans = make([]node, g.numNodes)
 	g.revTrans = make([][]node, g.numNodes)
@@ -164,35 +189,18 @@ func (g *graph) lookup(state int, it lr.Item) (node, bool) {
 	return g.nodeOf(state, idx), true
 }
 
-// stateOf returns the state of a node.
-func (g *graph) stateOf(n node) int {
-	// Binary search over stateBase.
-	lo, hi := 0, len(g.stateBase)-1
-	for lo < hi {
-		mid := (lo + hi + 1) / 2
-		if int32(n) >= g.stateBase[mid] {
-			lo = mid
-		} else {
-			hi = mid - 1
-		}
-	}
-	return lo
-}
+// stateOf returns the state of a node (a table load; the construction-time
+// binary search over stateBase lives on only in nodeOf's inverse direction).
+func (g *graph) stateOf(n node) int { return int(g.states[n]) }
 
 // itemOf returns the item of a node.
-func (g *graph) itemOf(n node) lr.Item {
-	s := g.stateOf(n)
-	return g.a.States[s].Items[int32(n)-g.stateBase[s]]
-}
+func (g *graph) itemOf(n node) lr.Item { return g.items[n] }
 
 // lookaheadOf returns the static LALR lookahead set of the node's item.
-func (g *graph) lookaheadOf(n node) grammar.TermSet {
-	s := g.stateOf(n)
-	return g.a.States[s].Lookahead[int32(n)-g.stateBase[s]]
-}
+func (g *graph) lookaheadOf(n node) grammar.TermSet { return g.lookaheads[n] }
 
 // dotSym returns the symbol after the dot of the node's item.
-func (g *graph) dotSym(n node) grammar.Sym { return g.a.DotSym(g.itemOf(n)) }
+func (g *graph) dotSym(n node) grammar.Sym { return g.dotSyms[n] }
 
 // prevSym returns the symbol before the dot of the node's item.
 func (g *graph) prevSym(n node) grammar.Sym { return g.a.PrevSym(g.itemOf(n)) }

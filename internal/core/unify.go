@@ -88,6 +88,25 @@ func (m CostModel) maxStep() int {
 	return max
 }
 
+// minStep is the smallest possible cost increment of a single action. The
+// level-synchronous parallel mode requires it to be positive: every successor
+// then costs strictly more than the configuration it came from, so once a
+// cost level is drained from the frontier it is closed — no expansion can add
+// to it — and the whole level can be expanded speculatively in parallel.
+func (m CostModel) minStep() int {
+	min := m.Shift
+	for _, v := range [...]int{
+		m.RevShift, m.Reduce,
+		m.ProdStep, m.ProdStep + m.DupProdStep,
+		m.RevProdStep, m.RevProdStep + m.DupProdStep,
+	} {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
 // config is a search state of the outward search (Figure 8): two item
 // sequences with their partial derivations (persistent, structure-shared —
 // see pside.go), plus bookkeeping.
@@ -203,6 +222,11 @@ type unifySearch struct {
 	mem      *searchMem
 	frontier frontier
 
+	// x is the sequential path's expansion context, sharing mem; the
+	// level-synchronous mode builds one expander per worker-group slot
+	// instead (see intra.go).
+	x expander
+
 	// stats
 	Expanded  int
 	Pushed    int
@@ -237,6 +261,7 @@ func newUnifySearch(g *graph, c lr.Conflict, costs CostModel, allowedState []boo
 	} else {
 		u.frontier = &mem.heap
 	}
+	u.x = expander{g: u.g, costs: u.costs, tIdx: u.tIdx, allowedState: u.allowedState, mem: u.mem}
 	return u
 }
 
@@ -274,19 +299,10 @@ func (u *unifySearch) push(c config) {
 // search stops within a bounded amount of work instead of at a wall-clock
 // poll.
 func (u *unifySearch) run(ctx context.Context) *unifyResult {
-	g := u.g
-	n1, ok1 := g.lookup(u.c.State, u.c.Item1)
-	n2, ok2 := g.lookup(u.c.State, u.c.Item2)
-	if !ok1 || !ok2 {
+	if !u.seed() {
 		return nil
 	}
-	u.push(config{
-		s1:    sideOf(n1, u.mem),
-		s2:    sideOf(n2, u.mem),
-		orig1: 0, orig2: 0,
-	})
 
-	const checkEvery = 256
 	for u.frontier.size() > 0 {
 		if u.Expanded%checkEvery == 0 && ctx.Err() != nil {
 			u.Cancelled = true
@@ -318,7 +334,106 @@ func (u *unifySearch) run(ctx context.Context) *unifyResult {
 			res.deriv2 = cloneDeriv(res.deriv2)
 			return res
 		}
-		u.expand(c)
+		// Generation and admission are split: the expander emits this
+		// configuration's successor candidates into a buffer, and push —
+		// the only step that consults the visited table — admits them in
+		// emission order. Buffering is unobservable here (candidate content
+		// never depends on dedup state) and is what lets the
+		// level-synchronous mode run the same generation code speculatively
+		// on worker goroutines.
+		u.x.out = u.mem.emitBuf[:0]
+		u.x.expand(c)
+		u.mem.emitBuf = u.x.out
+		for i := range u.x.out {
+			u.push(u.x.out[i])
+		}
+	}
+	return nil
+}
+
+// checkEvery is the expansion interval of the cooperative cancellation poll:
+// frequent enough to stop within microseconds of a deadline, rare enough that
+// the atomic context check never shows up in profiles.
+const checkEvery = 256
+
+// seed pushes the initial configuration — the two conflict items with empty
+// context (Figure 8) — and reports whether the conflict maps onto the graph.
+func (u *unifySearch) seed() bool {
+	n1, ok1 := u.g.lookup(u.c.State, u.c.Item1)
+	n2, ok2 := u.g.lookup(u.c.State, u.c.Item2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	u.push(config{
+		s1:    sideOf(n1, u.mem),
+		s2:    sideOf(n2, u.mem),
+		orig1: 0, orig2: 0,
+	})
+	return true
+}
+
+// runLevelSync is run in the level-synchronous parallel mode (Options.
+// IntraWorkers ≥ 2): the frontier is drained one closed cost level at a time,
+// the whole level is expanded speculatively by grp's worker group (generation
+// reads only the immutable graph and the configurations themselves, never the
+// visited table, so it parallelizes without changing what is generated), and
+// the successor batches are merged back on this goroutine in level order —
+// reproducing, check for check, the state evolution the sequential loop's
+// admission path would have produced for the same pop order. Reports are
+// therefore byte-identical for every worker count; under the FIFO frontier
+// the level order equals the sequential pop order and the results match the
+// sequential mode exactly, while the heap frontier's level drain is a
+// deterministic equal-cost tie-break of its own (see frontier.go).
+func (u *unifySearch) runLevelSync(ctx context.Context, grp *intraGroup) *unifyResult {
+	defer grp.stop()
+	if !u.seed() {
+		return nil
+	}
+
+	for u.frontier.size() > 0 {
+		u.mem.levelBuf = u.frontier.drainLevel(u.mem.levelBuf)
+		level := u.mem.levelBuf
+		batches, ok := grp.expandLevel(level)
+		if !ok {
+			u.Cancelled = true
+			return nil
+		}
+		for i, c := range level {
+			// The per-item checks mirror the sequential loop exactly — same
+			// order, same counters — so the deterministic limits (MaxConfigs,
+			// MaxArenaBytes) cut the search at the same configuration. The
+			// speculative batches of the items after the cut are discarded
+			// unmerged, just as the sequential loop would never have expanded
+			// those configurations.
+			if u.Expanded%checkEvery == 0 && ctx.Err() != nil {
+				u.Cancelled = true
+				return nil
+			}
+			if u.maxConfigs > 0 && u.Expanded >= u.maxConfigs {
+				u.Capped = true
+				return nil
+			}
+			if u.maxArena > 0 && u.mem.ac.bytes() > u.maxArena {
+				u.MemCapped = true
+				return nil
+			}
+			u.Expanded++
+			if res := u.success(c); res != nil {
+				res.deriv1 = cloneDeriv(res.deriv1)
+				res.deriv2 = cloneDeriv(res.deriv2)
+				return res
+			}
+			// Merge: fold the batch's cell allocations into the merge-side
+			// counter (only merged batches count, so AllocBytes is
+			// independent of the worker count) and admit the candidates in
+			// generation order.
+			b := &batches[i]
+			u.mem.ac.icells += b.icells
+			u.mem.ac.dcells += b.dcells
+			for j := range b.succs {
+				u.push(b.succs[j])
+			}
+		}
 	}
 	return nil
 }
@@ -352,15 +467,42 @@ func (u *unifySearch) success(c *config) *unifyResult {
 	return &unifyResult{nonterminal: d1.Sym, deriv1: d1, deriv2: d2, dot: c.revTrans}
 }
 
-// expand generates the successor configurations of Figure 10. The faults
-// injection point at the top simulates a search-core bug mid-expansion; with
-// the subsystem disabled (the default) it is a single atomic load.
-func (u *unifySearch) expand(c *config) {
+// expander generates successor configurations (Figure 10). It is the
+// generation half of the search, deliberately split from admission (push):
+// candidate content depends only on the expanded configuration, the immutable
+// graph, and the cost model — never on the visited table or the frontier — so
+// an expander can run speculatively on a worker goroutine against its own
+// memory. The sequential path uses one expander over the search's own mem;
+// the level-synchronous mode builds one per worker-group slot.
+type expander struct {
+	g     *graph
+	costs CostModel
+	tIdx  int // dense index of the conflict terminal
+
+	// allowedState restricts joint reverse transitions (shared, read-only).
+	allowedState []bool
+
+	// mem supplies the cells and derivations of emitted candidates; each
+	// expander owns its mem exclusively while a level is in flight.
+	mem *searchMem
+
+	// out receives the candidates in emission order.
+	out []config
+}
+
+// emit appends a successor candidate.
+func (e *expander) emit(c config) { e.out = append(e.out, c) }
+
+// expand generates the successor configurations of Figure 10 into e.out. The
+// faults injection point at the top simulates a search-core bug
+// mid-expansion; with the subsystem disabled (the default) it is a single
+// atomic load.
+func (e *expander) expand(c *config) {
 	faults.PanicAt(faults.CoreUnifyExpand)
-	g := u.g
+	g := e.g
 	a := g.a
 	gr := a.G
-	maxOcc := int32(u.costs.MaxItemOccurrences)
+	maxOcc := int32(e.costs.MaxItemOccurrences)
 
 	last1 := c.s1.last()
 	last2 := c.s2.last()
@@ -372,10 +514,10 @@ func (u *unifySearch) expand(c *config) {
 		m1, m2 := g.fwdTrans[last1], g.fwdTrans[last2]
 		if m1 != noNode && m2 != noNode &&
 			c.s1.count(m1) < maxOcc && c.s2.count(m2) < maxOcc {
-			u.push(config{
-				s1:   c.s1.withAppended(m1, g.leafOf(d1), u.mem),
-				s2:   c.s2.withAppended(m2, g.leafOf(d1), u.mem),
-				cost: c.cost + u.costs.Shift, revTrans: c.revTrans,
+			e.emit(config{
+				s1:   c.s1.withAppended(m1, g.leafOf(d1), e.mem),
+				s2:   c.s2.withAppended(m2, g.leafOf(d1), e.mem),
+				cost: c.cost + e.costs.Shift, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: c.orig2,
 			})
 		}
@@ -395,12 +537,12 @@ func (u *unifySearch) expand(c *config) {
 			if occ >= maxOcc {
 				continue
 			}
-			cost := c.cost + u.costs.ProdStep
+			cost := c.cost + e.costs.ProdStep
 			if occ > 0 {
-				cost += u.costs.DupProdStep
+				cost += e.costs.DupProdStep
 			}
-			u.push(config{
-				s1: c.s1.withAppended(m, nil, u.mem), s2: c.s2,
+			e.emit(config{
+				s1: c.s1.withAppended(m, nil, e.mem), s2: c.s2,
 				cost: cost, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: c.orig2,
 			})
@@ -412,12 +554,12 @@ func (u *unifySearch) expand(c *config) {
 			if occ >= maxOcc {
 				continue
 			}
-			cost := c.cost + u.costs.ProdStep
+			cost := c.cost + e.costs.ProdStep
 			if occ > 0 {
-				cost += u.costs.DupProdStep
+				cost += e.costs.DupProdStep
 			}
-			u.push(config{
-				s1: c.s1, s2: c.s2.withAppended(m, nil, u.mem),
+			e.emit(config{
+				s1: c.s1, s2: c.s2.withAppended(m, nil, e.mem),
 				cost: cost, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: c.orig2,
 			})
@@ -426,19 +568,19 @@ func (u *unifySearch) expand(c *config) {
 
 	// Reductions (Figure 10(f)) on either side, when enough items are
 	// present; otherwise preparation steps below supply context.
-	need1 := u.tryReduce(c, 1)
-	need2 := u.tryReduce(c, 2)
+	need1 := e.tryReduce(c, 1)
+	need2 := e.tryReduce(c, 2)
 
 	if need1 || need2 {
-		u.prepare(c)
+		e.prepare(c)
 	}
 }
 
 // tryReduce attempts a reduction on the given side; it returns true when the
 // side's last item is a reduce item that still lacks context items (so the
 // caller should generate preparation steps).
-func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
-	g := u.g
+func (e *expander) tryReduce(c *config, which int) (needsPrep bool) {
+	g := e.g
 	a := g.a
 	gr := a.G
 
@@ -483,16 +625,16 @@ func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
 	if s.numDerivs() < l {
 		return false // defensive; structurally unreachable
 	}
-	children := u.mem.children.alloc(int(l))
-	tree := u.mem.newDeriv(Deriv{Sym: gr.Production(pid).LHS, Prod: pid, Children: children})
-	ns := s.reduced(l+1, l, gotoNode, tree, children, u.mem)
+	children := e.mem.children.alloc(int(l))
+	tree := e.mem.newDeriv(Deriv{Sym: gr.Production(pid).LHS, Prod: pid, Children: children})
+	ns := s.reduced(l+1, l, gotoNode, tree, children, e.mem)
 
 	newOrig := orig
 	if int32(orig) >= m-l-1 {
 		newOrig = -1 // the reduction consumed the original conflict item
 	}
 
-	nc := config{cost: c.cost + u.costs.Reduce, revTrans: c.revTrans}
+	nc := config{cost: c.cost + e.costs.Reduce, revTrans: c.revTrans}
 	if which == 1 {
 		nc.s1, nc.s2 = ns, o
 		nc.orig1, nc.orig2 = newOrig, origOther
@@ -500,18 +642,18 @@ func (u *unifySearch) tryReduce(c *config, which int) (needsPrep bool) {
 		nc.s1, nc.s2 = o, ns
 		nc.orig1, nc.orig2 = origOther, newOrig
 	}
-	u.push(nc)
+	e.emit(nc)
 	return false
 }
 
 // prepare generates the backward actions of Figures 10(c)–(e): joint reverse
 // transitions when both heads have consumed a symbol, and per-side reverse
 // production steps when a head sits at the start of its production.
-func (u *unifySearch) prepare(c *config) {
-	g := u.g
+func (e *expander) prepare(c *config) {
+	g := e.g
 	a := g.a
 	gr := a.G
-	maxOcc := int32(u.costs.MaxItemOccurrences)
+	maxOcc := int32(e.costs.MaxItemOccurrences)
 
 	head1, head2 := c.s1.first(), c.s2.first()
 	dot1 := a.Dot(g.itemOf(head1))
@@ -524,12 +666,12 @@ func (u *unifySearch) prepare(c *config) {
 		z := g.prevSym(head1)
 		for _, m1 := range g.revTrans[head1] {
 			st := g.stateOf(m1)
-			if u.allowedState != nil && !u.allowedState[st] {
+			if e.allowedState != nil && !e.allowedState[st] {
 				continue
 			}
 			// Stage 1 guard: the item prepended to the first parser must
 			// still admit the conflict terminal (Section 5.3).
-			if !c.stage1Done() && !g.lookaheadOf(m1).Has(u.tIdx) {
+			if !c.stage1Done() && !g.lookaheadOf(m1).Has(e.tIdx) {
 				continue
 			}
 			if c.s1.count(m1) >= maxOcc {
@@ -542,10 +684,10 @@ func (u *unifySearch) prepare(c *config) {
 				if c.s2.count(m2) >= maxOcc {
 					continue
 				}
-				u.push(config{
-					s1:   c.s1.withPrepended(m1, g.leafOf(z), u.mem),
-					s2:   c.s2.withPrepended(m2, g.leafOf(z), u.mem),
-					cost: c.cost + u.costs.RevShift, revTrans: c.revTrans + 1,
+				e.emit(config{
+					s1:   c.s1.withPrepended(m1, g.leafOf(z), e.mem),
+					s2:   c.s2.withPrepended(m2, g.leafOf(z), e.mem),
+					cost: c.cost + e.costs.RevShift, revTrans: c.revTrans + 1,
 					orig1: bump(c.orig1), orig2: bump(c.orig2),
 				})
 			}
@@ -561,7 +703,7 @@ func (u *unifySearch) prepare(c *config) {
 			if !c.stage1Done() {
 				it := g.itemOf(m)
 				follow := gr.FollowL(a.Prod(it), a.Dot(it), g.lookaheadOf(m))
-				if !follow.Has(u.tIdx) {
+				if !follow.Has(e.tIdx) {
 					continue
 				}
 			}
@@ -569,12 +711,12 @@ func (u *unifySearch) prepare(c *config) {
 			if occ >= maxOcc {
 				continue
 			}
-			cost := c.cost + u.costs.RevProdStep
+			cost := c.cost + e.costs.RevProdStep
 			if occ > 0 {
-				cost += u.costs.DupProdStep
+				cost += e.costs.DupProdStep
 			}
-			u.push(config{
-				s1: c.s1.withPrepended(m, nil, u.mem), s2: c.s2,
+			e.emit(config{
+				s1: c.s1.withPrepended(m, nil, e.mem), s2: c.s2,
 				cost: cost, revTrans: c.revTrans,
 				orig1: bump(c.orig1), orig2: c.orig2,
 			})
@@ -587,12 +729,12 @@ func (u *unifySearch) prepare(c *config) {
 			if occ >= maxOcc {
 				continue
 			}
-			cost := c.cost + u.costs.RevProdStep
+			cost := c.cost + e.costs.RevProdStep
 			if occ > 0 {
-				cost += u.costs.DupProdStep
+				cost += e.costs.DupProdStep
 			}
-			u.push(config{
-				s1: c.s1, s2: c.s2.withPrepended(m, nil, u.mem),
+			e.emit(config{
+				s1: c.s1, s2: c.s2.withPrepended(m, nil, e.mem),
 				cost: cost, revTrans: c.revTrans,
 				orig1: c.orig1, orig2: bump(c.orig2),
 			})

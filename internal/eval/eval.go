@@ -47,6 +47,11 @@ type Row struct {
 	// Finder.Parallelism > 1 it is smaller than Total (the per-conflict sum):
 	// Total/Wall is the realized parallel speedup.
 	Wall time.Duration
+	// ParseWall and BuildWall break the pre-search cost down: GDL parse
+	// versus LALR automaton + table + search-graph construction. Together
+	// with Wall they are the per-phase view the -stats flag reports.
+	ParseWall time.Duration
+	BuildWall time.Duration
 
 	// BaselineTime is the bounded exhaustive detector's time (Section 7.3's
 	// parenthesized column), measured only when requested.
@@ -84,17 +89,23 @@ func Build(e *corpus.Entry) (*grammar.Grammar, *lr.Table, error) {
 // Measure runs the counterexample finder on one corpus grammar.
 func Measure(e *corpus.Entry, opts Options) Row {
 	row := Row{Name: e.Name, Category: e.Category, ExpectedAmbiguous: e.Ambiguous}
-	g, tbl, err := Build(e)
+	parseStart := time.Now()
+	g, err := gdl.Parse(e.Name, e.Source)
 	if err != nil {
-		row.Err = err
+		row.Err = fmt.Errorf("parsing %s: %w", e.Name, err)
 		return row
 	}
+	row.ParseWall = time.Since(parseStart)
+	buildStart := time.Now()
+	tbl := lr.BuildTable(lr.Build(g))
+	compiled := core.Compile(tbl)
+	row.BuildWall = time.Since(buildStart)
 	row.Nonterms = len(g.Nonterminals())
 	row.Prods = g.NumProductions()
 	row.States = len(tbl.A.States)
 	row.Conflicts = len(tbl.Conflicts)
 
-	finder := core.NewFinder(tbl, opts.Finder)
+	finder := core.NewFinderFromCompiled(compiled, opts.Finder)
 	wallStart := time.Now()
 	exs, err := finder.FindAll()
 	row.Wall = time.Since(wallStart)

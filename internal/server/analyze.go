@@ -60,6 +60,12 @@ type AnalyzeOptions struct {
 	// FIFOFrontier selects the bucket-queue frontier (different — equally
 	// minimal — witnesses on a handful of equal-cost ties).
 	FIFOFrontier bool `json:"fifo_frontier,omitempty"`
+	// IntraWorkers is the per-conflict worker count of the level-synchronous
+	// search (0 = server default; 1 forces the classic sequential loop; ≥ 2
+	// selects level-synchronous expansion). Reports are byte-identical across
+	// every count ≥ 2, so only the mode — sequential vs level-synchronous —
+	// joins the cache key, not the count.
+	IntraWorkers int `json:"intra_workers,omitempty"`
 	// Kinds filters the returned examples: "unifying", "nonunifying", or
 	// both (empty = both). Conflicts are always listed.
 	Kinds []string `json:"kinds,omitempty"`
@@ -75,9 +81,17 @@ type AnalyzeOptions struct {
 func (o AnalyzeOptions) optionsKey() string {
 	kinds := append([]string(nil), o.Kinds...)
 	sort.Strings(kinds)
-	return fmt.Sprintf("pc=%d|cum=%d|nt=%t|ext=%t|max=%d|arena=%d|fifo=%t|kinds=%s",
+	// IntraWorkers is canonicalized to its three observable classes — server
+	// default (0), forced sequential (1), level-synchronous (≥ 2) — because
+	// level-synchronous reports are byte-identical at every worker count: a
+	// request at intra=4 may reuse the report computed at intra=8.
+	intra := o.IntraWorkers
+	if intra > 2 {
+		intra = 2
+	}
+	return fmt.Sprintf("pc=%d|cum=%d|nt=%t|ext=%t|max=%d|arena=%d|fifo=%t|intra=%d|kinds=%s",
 		o.PerConflictTimeoutMS, o.CumulativeTimeoutMS, o.NoTimeout,
-		o.ExtendedSearch, o.MaxConfigs, o.MaxArenaBytes, o.FIFOFrontier, strings.Join(kinds, ","))
+		o.ExtendedSearch, o.MaxConfigs, o.MaxArenaBytes, o.FIFOFrontier, intra, strings.Join(kinds, ","))
 }
 
 // validate rejects malformed options (unknown kinds, negative numbers).
@@ -88,7 +102,7 @@ func (o AnalyzeOptions) validate() error {
 		}
 	}
 	if o.PerConflictTimeoutMS < 0 || o.CumulativeTimeoutMS < 0 || o.DeadlineMS < 0 ||
-		o.Parallelism < 0 || o.MaxConfigs < 0 || o.MaxArenaBytes < 0 {
+		o.Parallelism < 0 || o.IntraWorkers < 0 || o.MaxConfigs < 0 || o.MaxArenaBytes < 0 {
 		return fmt.Errorf("options must be non-negative (use no_timeout to disable limits)")
 	}
 	return nil
@@ -127,6 +141,9 @@ func (o AnalyzeOptions) finderOptions(base core.Options) core.Options {
 	}
 	if o.Parallelism > 0 {
 		opts.Parallelism = o.Parallelism
+	}
+	if o.IntraWorkers > 0 {
+		opts.IntraWorkers = o.IntraWorkers
 	}
 	if o.MaxConfigs > 0 {
 		opts.MaxConfigs = o.MaxConfigs
@@ -188,11 +205,14 @@ func statsJSON(s core.SearchStats) StatsJSON {
 	}
 }
 
-// Timings breaks a request's wall-clock down by phase.
+// Timings breaks a request's wall-clock down by phase. ParseMS and TableMS
+// are zero when the compile cache supplied the grammar and its tables — the
+// phases simply did not run — so compile-cache effectiveness is directly
+// observable per response (and cumulatively via /metrics phase counters).
 type Timings struct {
 	QueueMS  float64 `json:"queue_ms"`  // admission → worker pickup
-	ParseMS  float64 `json:"parse_ms"`  // GDL parse (pre-queue)
-	TableMS  float64 `json:"table_ms"`  // LALR automaton + table construction
+	ParseMS  float64 `json:"parse_ms"`  // GDL parse (pre-queue; 0 on a compile-cache hit)
+	TableMS  float64 `json:"table_ms"`  // LALR automaton + table + search-graph construction (0 on a compile-cache hit)
 	SearchMS float64 `json:"search_ms"` // counterexample searches
 	TotalMS  float64 `json:"total_ms"`
 }
@@ -203,6 +223,12 @@ type AnalyzeResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	// Cached is true when the report was served from the result cache.
 	Cached bool `json:"cached"`
+	// CompileCached is true when the analysis reused a compiled grammar
+	// (parse table + search graph) from the compile cache, skipping the GDL
+	// parse and the table construction. Independent of Cached: a result-cache
+	// hit answers without analyzing at all, a compile-cache hit still runs
+	// the searches.
+	CompileCached bool `json:"compile_cached,omitempty"`
 	// Partial is true when the request deadline expired mid-search: the
 	// examples present are valid, later conflicts are missing (status 504).
 	Partial bool `json:"partial,omitempty"`
@@ -265,7 +291,13 @@ func symNames(g *grammar.Grammar, syms []grammar.Sym) []string {
 // admitted job. ctx carries the request deadline; on expiry the report is
 // returned with Partial set and the examples found so far. The grammar has
 // already been parsed (pre-queue) so 422s never consume a worker.
-func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, opts AnalyzeOptions, base core.Options) (*AnalyzeResponse, error) {
+//
+// compiled, when non-nil, is this grammar's cached compilation artifact: the
+// build phase is skipped entirely (TableMS stays 0, CompileCached is set).
+// When nil, the artifact is built here and offered to onCompiled before the
+// searches start, so even an analysis that later times out or is cancelled
+// leaves the compiled grammar behind for the retry.
+func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, compiled *core.Compiled, onCompiled func(*core.Compiled), opts AnalyzeOptions, base core.Options) (*AnalyzeResponse, error) {
 	resp := &AnalyzeResponse{Name: name, Fingerprint: fp}
 	resp.Nonterminals = len(g.Nonterminals())
 	resp.Productions = g.NumProductions()
@@ -275,10 +307,18 @@ func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, opts Anal
 		return resp, err
 	}
 
-	tableStart := time.Now()
-	a := lr.Build(g)
-	tbl := lr.BuildTable(a)
-	resp.Timings.TableMS = msSince(tableStart)
+	if compiled == nil {
+		tableStart := time.Now()
+		compiled = core.Compile(lr.BuildTable(lr.Build(g)))
+		resp.Timings.TableMS = msSince(tableStart)
+		if onCompiled != nil {
+			onCompiled(compiled)
+		}
+	} else {
+		resp.CompileCached = true
+	}
+	tbl := compiled.Table()
+	a := tbl.A
 	resp.States = len(a.States)
 	resp.ConflictCount = len(tbl.Conflicts)
 	resp.Resolved = len(tbl.Resolved)
@@ -298,7 +338,7 @@ func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, opts Anal
 		resp.Conflicts[i] = cj
 	}
 
-	finder := core.NewFinder(tbl, opts.finderOptions(base))
+	finder := core.NewFinderFromCompiled(compiled, opts.finderOptions(base))
 	searchStart := time.Now()
 	exs, err := finder.FindAllContext(ctx)
 	resp.Timings.SearchMS = msSince(searchStart)

@@ -74,6 +74,20 @@ type metrics struct {
 	searchPath         atomic.Int64
 	searchAllocBytes   atomic.Int64
 	searchPeakFrontier atomic.Int64 // max across analyses
+
+	// Cumulative per-phase wall-clock across executed analyses, in
+	// nanoseconds. Compile-cache hits contribute zero parse and table time,
+	// so the parse/table counters flattening while search keeps climbing is
+	// the cache working.
+	phaseParseNS  atomic.Int64
+	phaseTableNS  atomic.Int64
+	phaseSearchNS atomic.Int64
+}
+
+// cacheScrape is one LRU cache's point-in-time scrape values.
+type cacheScrape struct {
+	len, cap                int
+	hits, misses, evictions int64
 }
 
 func newMetrics() *metrics {
@@ -110,9 +124,18 @@ func (m *metrics) addSearchStats(s core.SearchStats) {
 	}
 }
 
-// write renders the scrape. queueDepth and cacheLen are sampled gauges the
-// server passes in; hits/misses/evictions come from the cache's counters.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap int, hits, misses, evictions, healthState int64) {
+// addPhaseTimings folds one executed analysis' phase breakdown into the
+// cumulative counters. QueueMS and TotalMS are request-level, not analysis
+// phases, and are covered by the latency histograms.
+func (m *metrics) addPhaseTimings(t Timings) {
+	m.phaseParseNS.Add(int64(t.ParseMS * float64(time.Millisecond)))
+	m.phaseTableNS.Add(int64(t.TableMS * float64(time.Millisecond)))
+	m.phaseSearchNS.Add(int64(t.SearchMS * float64(time.Millisecond)))
+}
+
+// write renders the scrape. queueDepth and the cache scrapes are sampled
+// gauges and counters the server passes in.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile cacheScrape, healthState int64) {
 	fmt.Fprintf(w, "# HELP cexd_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE cexd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "cexd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -156,11 +179,17 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap in
 	counter("cexd_shed_total", "Requests shed with 429 because the queue was full.", m.shed.Load())
 	counter("cexd_singleflight_collapsed_total", "Requests collapsed onto an identical in-flight analysis.", m.collapsed.Load())
 
-	counter("cexd_cache_hits_total", "Result cache hits.", hits)
-	counter("cexd_cache_misses_total", "Result cache misses.", misses)
-	counter("cexd_cache_evictions_total", "Result cache LRU evictions.", evictions)
-	gauge("cexd_cache_entries", "Result cache entries.", int64(cacheLen))
-	gauge("cexd_cache_capacity", "Result cache capacity.", int64(cacheCap))
+	counter("cexd_cache_hits_total", "Result cache hits.", result.hits)
+	counter("cexd_cache_misses_total", "Result cache misses.", result.misses)
+	counter("cexd_cache_evictions_total", "Result cache LRU evictions.", result.evictions)
+	gauge("cexd_cache_entries", "Result cache entries.", int64(result.len))
+	gauge("cexd_cache_capacity", "Result cache capacity.", int64(result.cap))
+
+	counter("cexd_compile_cache_hits_total", "Compiled-grammar cache hits (parse and table construction skipped).", compile.hits)
+	counter("cexd_compile_cache_misses_total", "Compiled-grammar cache misses.", compile.misses)
+	counter("cexd_compile_cache_evictions_total", "Compiled-grammar cache LRU evictions.", compile.evictions)
+	gauge("cexd_compile_cache_entries", "Compiled-grammar cache entries.", int64(compile.len))
+	gauge("cexd_compile_cache_capacity", "Compiled-grammar cache capacity.", int64(compile.cap))
 
 	counter("cexd_panics_recovered_total", "Panics recovered by the worker barrier and handler backstop.", m.panics.Load())
 	counter("cexd_watchdog_stalls_total", "Analyses abandoned by the watchdog past deadline + grace.", m.stalls.Load())
@@ -169,6 +198,19 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap in
 	gauge("cexd_health_state", "Health tri-state: 0 ok, 1 degraded, 2 draining.", healthState)
 
 	counter("cexd_analyses_total", "Analyses executed (cache hits and collapsed requests excluded).", m.analyses.Load())
+
+	fmt.Fprintf(w, "# HELP cexd_analysis_phase_seconds_total Cumulative wall-clock by analysis phase (executed analyses only).\n")
+	fmt.Fprintf(w, "# TYPE cexd_analysis_phase_seconds_total counter\n")
+	for _, p := range [...]struct {
+		name string
+		ns   int64
+	}{
+		{"parse", m.phaseParseNS.Load()},
+		{"table", m.phaseTableNS.Load()},
+		{"search", m.phaseSearchNS.Load()},
+	} {
+		fmt.Fprintf(w, "cexd_analysis_phase_seconds_total{phase=%q} %.6f\n", p.name, time.Duration(p.ns).Seconds())
+	}
 	counter("cexd_search_expanded_total", "Configurations expanded by the unifying searches.", m.searchExpanded.Load())
 	counter("cexd_search_pushed_total", "Configurations pushed onto search frontiers.", m.searchPushed.Load())
 	counter("cexd_search_dedup_hits_total", "Successors dropped by the visited set.", m.searchDedup.Load())

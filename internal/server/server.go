@@ -32,6 +32,12 @@ type Config struct {
 	// CacheEntries bounds the LRU result cache (default 256; 0 < explicit
 	// negative disables caching).
 	CacheEntries int
+	// CompileEntries bounds the compiled-grammar LRU (default 64; explicit
+	// negative disables). Entries are keyed by grammar fingerprint alone and
+	// hold the parsed grammar, parse table, and search graph, so resubmissions
+	// with different options — and mutated sources whose canonical form is
+	// unchanged — skip parsing and table construction entirely.
+	CompileEntries int
 	// Limits guards the GDL parser against adversarial input (defaults:
 	// 1 MiB source, 20000 productions, 10000 distinct symbols).
 	Limits gdl.Limits
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
+	}
+	if c.CompileEntries == 0 {
+		c.CompileEntries = 64
 	}
 	if c.Limits.MaxSourceBytes == 0 {
 		c.Limits.MaxSourceBytes = 1 << 20
@@ -108,11 +117,12 @@ func (e *RequestTooLargeError) Error() string {
 // Server is the analysis service. Create with New, mount Handler on an
 // http.Server, and call Shutdown to drain.
 type Server struct {
-	cfg    Config
-	cache  *resultCache
-	sf     group
-	m      *metrics
-	health *healthTracker
+	cfg     Config
+	cache   *resultCache
+	compile *compileCache
+	sf      group
+	m       *metrics
+	health  *healthTracker
 
 	jobs     chan *job
 	quit     chan struct{}
@@ -135,6 +145,12 @@ type job struct {
 	admitted time.Time
 	queueMS  float64
 
+	// compiled, when non-nil, is the compile-cache hit for this grammar; the
+	// worker skips the table construction. onCompiled, when set, receives the
+	// freshly built artifact on a miss (the handler points it at the cache).
+	compiled   *core.Compiled
+	onCompiled func(*core.Compiled)
+
 	res  *jobResult
 	done chan struct{}
 }
@@ -156,12 +172,13 @@ var (
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheEntries),
-		m:      newMetrics(),
-		health: newHealthTracker(),
-		jobs:   make(chan *job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		compile: newCompileCache(cfg.CompileEntries),
+		m:       newMetrics(),
+		health:  newHealthTracker(),
+		jobs:    make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -227,7 +244,7 @@ func (s *Server) runGuarded(j *job) (res *jobResult) {
 		}
 	}()
 	faults.PanicAt(faults.ServerWorker)
-	resp, err := analyze(j.ctx, j.g, j.name, j.fp, j.opts, s.cfg.Finder)
+	resp, err := analyze(j.ctx, j.g, j.name, j.fp, j.compiled, j.onCompiled, j.opts, s.cfg.Finder)
 	res = &jobResult{resp: resp}
 	switch {
 	case err == nil:
@@ -352,9 +369,13 @@ func (s *Server) healthState() int64 {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses, evictions := s.cache.counters()
+	var result, compile cacheScrape
+	result.len, result.cap = s.cache.len(), s.cfg.CacheEntries
+	result.hits, result.misses, result.evictions = s.cache.counters()
+	compile.len, compile.cap = s.compile.len(), s.cfg.CompileEntries
+	compile.hits, compile.misses, compile.evictions = s.compile.counters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.write(w, len(s.jobs), cap(s.jobs), s.cache.len(), s.cfg.CacheEntries, hits, misses, evictions, s.healthState())
+	s.m.write(w, len(s.jobs), cap(s.jobs), result, compile, s.healthState())
 }
 
 // handleAnalyze is the hot path: decode → fingerprint → cache → parse →
@@ -419,13 +440,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	parseStart := time.Now()
-	g, err := gdl.ParseLimited(name, req.Grammar, s.cfg.Limits)
-	if err != nil {
-		s.failParse(w, start, err)
-		return
+	// Compiled-grammar cache: keyed by fingerprint alone, so a result-cache
+	// miss — different options, or a source mutation the canonical form
+	// normalizes away — still skips the GDL parse and the table construction.
+	var g *grammar.Grammar
+	var compiled *core.Compiled
+	var parseMS float64
+	if ce, ok := s.compile.get(fp); ok {
+		g, compiled = ce.g, ce.c
+	} else {
+		parseStart := time.Now()
+		g, err = gdl.ParseLimited(name, req.Grammar, s.cfg.Limits)
+		if err != nil {
+			s.failParse(w, start, err)
+			return
+		}
+		parseMS = msSince(parseStart)
 	}
-	parseMS := msSince(parseStart)
 
 	deadline := s.cfg.DefaultDeadline
 	if req.Options.DeadlineMS > 0 {
@@ -451,8 +482,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(context.Background(), deadline)
 		defer cancel()
 		j := &job{
-			g: g, name: name, fp: fp, opts: req.Options,
+			g: g, name: name, fp: fp, opts: req.Options, compiled: compiled,
 			ctx: ctx, admitted: time.Now(), done: make(chan struct{}),
+		}
+		if compiled == nil {
+			// Insert into the compile cache as soon as the worker finishes
+			// the build — before the searches — so even a deadline-expired
+			// analysis leaves the tables behind for the retry.
+			j.onCompiled = func(c *core.Compiled) {
+				s.compile.add(fp, &compiledGrammar{g: g, c: c})
+			}
 		}
 		if err := s.submit(j); err != nil {
 			return nil, err
@@ -472,9 +511,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return nil, errWatchdog
 		}
 		// Safe to mutate here: followers are still blocked on the flight,
-		// and nothing else holds the report yet.
+		// and nothing else holds the report yet. Phase totals accumulate
+		// here rather than per request so collapsed followers and cache
+		// hits never double-count work that ran once.
 		if j.res.resp != nil {
 			j.res.resp.Timings.ParseMS = parseMS
+			s.m.addPhaseTimings(j.res.resp.Timings)
 		}
 		return j.res, nil
 	})

@@ -16,7 +16,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PATTERN="${1:-Table1$|Table1Parallel$|UnifyAllocs$|Figure9Challenging$}"
+PATTERN="${1:-Table1$|Table1Parallel$|UnifyAllocs$|Figure9Challenging$|LongPole$}"
 COUNT="${2:-5}"
 BENCHTIME="${3:-}"
 OUT="BENCH_unify.json"
