@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -31,10 +32,15 @@ import (
 	"lrcex/internal/eval"
 	"lrcex/internal/faults"
 	"lrcex/internal/profiling"
+	"lrcex/internal/repair"
 )
 
 // showStats mirrors the -stats flag for the table printers.
 var showStats bool
+
+// searchFlags holds the parsed shared flag surface; runOne consults its
+// repair fields.
+var searchFlags *cliflags.Search
 
 func main() {
 	var (
@@ -58,6 +64,7 @@ func main() {
 	search := cliflags.RegisterSearch(flag.CommandLine)
 	flag.Parse()
 	showStats = search.Stats
+	searchFlags = search
 
 	if err := faults.EnableSpec(search.Faults); err != nil {
 		fmt.Fprintln(os.Stderr, "cexeval:", err)
@@ -181,7 +188,7 @@ func runOne(name string, opts eval.Options) {
 	if showStats {
 		fmt.Printf("\nsearch stats: %s\n", row.Stats)
 	}
-	_, tbl, err := eval.Build(e)
+	g, tbl, err := eval.Build(e)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cexeval:", err)
 		os.Exit(1)
@@ -189,6 +196,23 @@ func runOne(name string, opts eval.Options) {
 	for _, ex := range row.Examples {
 		fmt.Println()
 		fmt.Print(ex.Report(tbl.A))
+	}
+
+	// -repair: run the conflict-repair advisor on the measured grammar,
+	// reusing the row's counterexamples as synthesis seeds and replay probes.
+	if searchFlags.Repair {
+		rep, err := repair.Advise(context.Background(), repair.Input{
+			Name:     e.Name,
+			Grammar:  g,
+			Compiled: core.Compile(tbl),
+			Examples: row.Examples,
+		}, searchFlags.RepairOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cexeval: repair:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(rep.Render())
 	}
 }
 

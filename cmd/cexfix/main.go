@@ -1,0 +1,288 @@
+// Command cexfix runs the conflict-repair advisor over the evaluation
+// corpus: for every grammar it synthesizes candidate fixes from the
+// counterexample analysis, validates each candidate by recompilation and
+// sentence replay, checks that the ranked report is byte-identical at 1 and
+// 8 validation workers, and writes the campaign record as JSON
+// (BENCH_repair.json).
+//
+// Usage:
+//
+//	cexfix -out BENCH_repair.json          # full 42-grammar campaign
+//	cexfix -smoke -out /dev/null           # verify.sh tier: 5 small grammars
+//	cexfix -grammar SQL.1                  # one grammar, report to stdout
+//
+// The exit status is the campaign verdict: nonzero when any validated
+// suggestion is language-breaking (a replay probe broke but the candidate
+// survived — impossible by construction, checked anyway) or when the ranking
+// differs between worker counts.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"lrcex/internal/cliflags"
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+	"lrcex/internal/repair"
+)
+
+// GrammarRecord is one grammar's campaign row.
+type GrammarRecord struct {
+	Name     string `json:"name"`
+	Category string `json:"category"`
+
+	Conflicts  int            `json:"conflicts"`
+	Candidates int            `json:"candidates"`
+	Patches    int            `json:"patches"`
+	Validated  int            `json:"validated"`
+	Rejected   map[string]int `json:"rejected,omitempty"`
+
+	BestScore      int  `json:"best_score"`
+	ConflictsAfter int  `json:"conflicts_after_best"` // under the best validated patch
+	ZeroConflict   bool `json:"zero_conflict"`
+
+	Probes        int `json:"probes"`
+	ProbesSkipped int `json:"probes_skipped,omitempty"`
+
+	// Deterministic reports whether the rendered ranking was byte-identical
+	// at -j 1 and -j 8.
+	Deterministic bool `json:"deterministic"`
+	// SurvivingBreaking counts validated suggestions with broken probes —
+	// must be zero; the campaign fails otherwise.
+	SurvivingBreaking int `json:"surviving_breaking"`
+
+	WallMS float64 `json:"wall_ms"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// Campaign is the full BENCH_repair.json document.
+type Campaign struct {
+	Budget        int `json:"budget"`
+	MaxCandidates int `json:"max_candidates"`
+
+	Grammars []GrammarRecord `json:"grammars"`
+
+	Totals struct {
+		Grammars          int `json:"grammars"`
+		Conflicts         int `json:"conflicts"`
+		Candidates        int `json:"candidates"`
+		Validated         int `json:"validated"`
+		Rejected          int `json:"rejected"`
+		ZeroConflict      int `json:"zero_conflict"`
+		RepairableSome    int `json:"some_fix_validated"`
+		SurvivingBreaking int `json:"surviving_breaking"`
+		Nondeterministic  int `json:"nondeterministic"`
+	} `json:"totals"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_repair.json", "write the campaign record to this file")
+		smoke   = flag.Bool("smoke", false, "run the small smoke subset instead of the full corpus")
+		oneName = flag.String("grammar", "", "run one corpus grammar and print its advisory report")
+		quiet   = flag.Bool("q", false, "suppress the per-grammar progress lines")
+	)
+	search := cliflags.RegisterSearch(flag.CommandLine)
+	flag.Parse()
+
+	ropts := search.RepairOptions()
+	ropts.Compile = memoCompile()
+
+	if *oneName != "" {
+		e, ok := corpus.Get(*oneName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cexfix: unknown corpus grammar %q (try: %v)\n", *oneName, corpus.Names())
+			os.Exit(2)
+		}
+		res, err := repair.Advise(context.Background(), repair.Input{Name: e.Name, Grammar: e.Grammar()}, ropts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cexfix:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Render())
+		return
+	}
+
+	names := corpus.Names()
+	if *smoke {
+		names = corpus.SmokeNames()
+	}
+
+	c := &Campaign{Budget: ropts.Budget, MaxCandidates: ropts.MaxCandidates}
+	failed := false
+	for _, name := range names {
+		rec := measure(name, ropts)
+		c.Grammars = append(c.Grammars, rec)
+		c.Totals.Grammars++
+		c.Totals.Conflicts += rec.Conflicts
+		c.Totals.Candidates += rec.Candidates
+		c.Totals.Validated += rec.Validated
+		for _, n := range rec.Rejected {
+			c.Totals.Rejected += n
+		}
+		if rec.ZeroConflict {
+			c.Totals.ZeroConflict++
+		}
+		if rec.Validated > 0 {
+			c.Totals.RepairableSome++
+		}
+		c.Totals.SurvivingBreaking += rec.SurvivingBreaking
+		if !rec.Deterministic {
+			c.Totals.Nondeterministic++
+		}
+		if rec.Error != "" || rec.SurvivingBreaking > 0 || !rec.Deterministic {
+			failed = true
+		}
+		if !*quiet {
+			status := "ok"
+			switch {
+			case rec.Error != "":
+				status = "ERROR: " + rec.Error
+			case rec.SurvivingBreaking > 0:
+				status = "LANGUAGE-BREAKING SUGGESTION SURVIVED"
+			case !rec.Deterministic:
+				status = "NONDETERMINISTIC RANKING"
+			case rec.ZeroConflict:
+				status = "zero-conflict fix"
+			case rec.Validated > 0:
+				status = "partial fix"
+			case rec.Conflicts == 0:
+				status = "no conflicts"
+			default:
+				status = "no validated fix"
+			}
+			fmt.Printf("%-14s %2d conflicts, %3d candidates, %3d validated  %8.0fms  %s\n",
+				name, rec.Conflicts, rec.Candidates, rec.Validated, rec.WallMS, status)
+		}
+	}
+
+	blob, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cexfix:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "cexfix:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("cexfix: %d grammars, %d conflicts, %d candidates, %d validated, %d zero-conflict fixes -> %s\n",
+		c.Totals.Grammars, c.Totals.Conflicts, c.Totals.Candidates, c.Totals.Validated, c.Totals.ZeroConflict, *out)
+	if failed {
+		fmt.Fprintln(os.Stderr, "cexfix: campaign FAILED (see records above)")
+		os.Exit(1)
+	}
+}
+
+// measure runs the advisor twice on one grammar — at 1 and 8 validation
+// workers — and folds both into one record with the byte-identity verdict.
+func measure(name string, ropts repair.Options) GrammarRecord {
+	rec := GrammarRecord{Name: name}
+	e, ok := corpus.Get(name)
+	if !ok {
+		rec.Error = "unknown corpus grammar"
+		return rec
+	}
+	rec.Category = e.Category.String()
+	g := e.Grammar()
+
+	// The deterministic analysis (NoTimeout + MaxConfigs) runs once; both
+	// advisor passes share its examples so the j1/j8 comparison isolates the
+	// validation pool.
+	budget := ropts.Budget
+	if budget <= 0 {
+		budget = 2000
+	}
+	compiled := core.Compile(lr.BuildTable(lr.Build(g)))
+	finder := core.NewFinderFromCompiled(compiled, core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         budget,
+	})
+	exs, err := finder.FindAll()
+	if err != nil {
+		rec.Error = err.Error()
+		return rec
+	}
+
+	start := time.Now()
+	var renders [2]string
+	var res *repair.Result
+	for i, j := range []int{1, 8} {
+		o := ropts
+		o.Parallelism = j
+		r, err := repair.Advise(context.Background(), repair.Input{
+			Name: name, Grammar: g, Compiled: compiled, Examples: exs,
+		}, o)
+		if err != nil {
+			rec.Error = err.Error()
+			return rec
+		}
+		renders[i] = r.Render()
+		res = r
+	}
+	rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	rec.Deterministic = renders[0] == renders[1]
+
+	rec.Conflicts = res.ConflictCount
+	rec.Candidates = res.Candidates
+	rec.Patches = res.Patches
+	rec.Validated = res.Validated
+	rec.Rejected = res.Rejected
+	rec.BestScore = res.BestScore
+	rec.ZeroConflict = res.ZeroConflict
+	rec.Probes = res.Probes
+	rec.ProbesSkipped = res.ProbesSkipped
+
+	rec.ConflictsAfter = rec.Conflicts
+	for _, adv := range res.PerConflict {
+		for _, o := range adv.Suggestions {
+			if o.ConflictsAfter < rec.ConflictsAfter {
+				rec.ConflictsAfter = o.ConflictsAfter
+			}
+			if o.ProbesBroken > 0 {
+				rec.SurvivingBreaking++
+			}
+		}
+	}
+	return rec
+}
+
+// memoCompile memoizes candidate recompilation by patch source across the
+// whole campaign — the CLI analogue of cexd's compiled-grammar cache, so the
+// j1 and j8 passes (and identical patches across grammars) build each table
+// once.
+func memoCompile() repair.CompileFunc {
+	type entry struct {
+		g   *grammar.Grammar
+		c   *core.Compiled
+		err error
+	}
+	var mu sync.Mutex
+	memo := map[string]*entry{}
+	return func(name, src string) (*grammar.Grammar, *core.Compiled, error) {
+		mu.Lock()
+		if e, ok := memo[src]; ok {
+			mu.Unlock()
+			return e.g, e.c, e.err
+		}
+		mu.Unlock()
+		g, err := gdl.Parse(name, src)
+		e := &entry{g: g, err: err}
+		if err == nil {
+			e.c = core.Compile(lr.BuildTable(lr.Build(g)))
+		}
+		mu.Lock()
+		memo[src] = e
+		mu.Unlock()
+		return e.g, e.c, e.err
+	}
+}

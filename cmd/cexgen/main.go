@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +20,11 @@ import (
 
 	"lrcex"
 	"lrcex/internal/cliflags"
+	"lrcex/internal/core"
 	"lrcex/internal/corpus"
 	"lrcex/internal/faults"
 	"lrcex/internal/profiling"
+	"lrcex/internal/repair"
 )
 
 func main() {
@@ -113,6 +116,23 @@ func main() {
 		fmt.Printf("\nsearch stats: %s\n", res.SearchStats())
 		fmt.Printf("phase times: parse %v, build %v, search %v\n",
 			parseWall.Round(time.Millisecond), buildWall.Round(time.Millisecond), searchWall.Round(time.Millisecond))
+	}
+
+	// -repair: run the conflict-repair advisor over the analysis just
+	// printed, reusing the compiled tables and the counterexamples as probes.
+	if search.Repair {
+		rep, err := repair.Advise(context.Background(), repair.Input{
+			Name:     name,
+			Grammar:  g,
+			Compiled: core.Compile(res.Table),
+			Examples: exs,
+		}, search.RepairOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cexgen: repair: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(rep.Render())
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lrcex/internal/core"
+	"lrcex/internal/repair"
 )
 
 // Search holds the parsed values of the shared search flags. Fields mirror
@@ -50,6 +51,15 @@ type Search struct {
 	// Faults is the fault-injection spec (-faults; also LRCEX_FAULTS).
 	// Empty = injection disabled. The commands arm it via faults.EnableSpec.
 	Faults string
+	// Repair asks the command to run the conflict-repair advisor after the
+	// counterexample reports (-repair).
+	Repair bool
+	// RepairBudget is the advisor's deterministic MaxConfigs budget for
+	// validating candidate patches (-repair-budget; 0 = the advisor default).
+	RepairBudget int
+	// MaxCandidates caps the repair candidates synthesized per conflict
+	// (-max-candidates; 0 = the advisor default).
+	MaxCandidates int
 }
 
 // RegisterSearch registers the shared search flags on fs and returns the
@@ -67,6 +77,9 @@ func RegisterSearch(fs *flag.FlagSet) *Search {
 	fs.BoolVar(&s.FIFOFrontier, "fifofrontier", false, "use the bucket-queue frontier (equal-cost ties pop FIFO)")
 	fs.BoolVar(&s.Stats, "stats", false, "print search statistics (expansions, dedup hits, memory)")
 	fs.StringVar(&s.Faults, "faults", "", "fault-injection spec, e.g. \"seed=42;all=0.05;core.unify.expand=0.1x3\" (default: LRCEX_FAULTS)")
+	fs.BoolVar(&s.Repair, "repair", false, "run the conflict-repair advisor after the counterexample reports")
+	fs.IntVar(&s.RepairBudget, "repair-budget", 0, "configurations expanded when validating each repair candidate (0 = advisor default)")
+	fs.IntVar(&s.MaxCandidates, "max-candidates", 0, "repair candidates synthesized per conflict (0 = advisor default)")
 	return s
 }
 
@@ -89,4 +102,15 @@ func (s *Search) FinderOptions() core.Options {
 		o.CumulativeTimeout = core.NoTimeout
 	}
 	return o
+}
+
+// RepairOptions maps the repair flags onto the advisor's options. The
+// validation pool inherits -j so the CLI's "outer" parallelism governs both
+// the counterexample searches and the patch validations.
+func (s *Search) RepairOptions() repair.Options {
+	return repair.Options{
+		Budget:        s.RepairBudget,
+		MaxCandidates: s.MaxCandidates,
+		Parallelism:   s.Parallelism,
+	}
 }

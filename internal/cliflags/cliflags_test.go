@@ -32,7 +32,7 @@ func TestParityAcrossRegistrations(t *testing.T) {
 	if !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("flag surfaces differ:\n%v\n%v", sa, sb)
 	}
-	want := []string{"timeout", "cumulative", "notimeout", "j", "intra", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults"}
+	want := []string{"timeout", "cumulative", "notimeout", "j", "intra", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults", "repair", "repair-budget", "max-candidates"}
 	for _, name := range want {
 		if _, ok := sa[name]; !ok {
 			t.Errorf("flag -%s not registered", name)
@@ -93,6 +93,65 @@ func TestParityWithAnalyzeOptions(t *testing.T) {
 	}
 }
 
+// TestParityWithRepairOptions checks that the repair tuning knobs reachable
+// over HTTP (server.RepairOptions JSON fields) are exactly the ones the CLI
+// exposes as -repair-budget and -max-candidates: one repair vocabulary on
+// both surfaces, like the search knobs above.
+func TestParityWithRepairOptions(t *testing.T) {
+	pairs := map[string]string{
+		"repair-budget":  "repair_budget",
+		"max-candidates": "max_candidates",
+	}
+
+	jsonFields := make(map[string]bool)
+	rt := reflect.TypeOf(server.RepairOptions{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := strings.Split(rt.Field(i).Tag.Get("json"), ",")[0]
+		if tag != "" && tag != "-" {
+			jsonFields[tag] = true
+		}
+	}
+
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	RegisterSearch(fs)
+	flags := flagSurface(fs)
+
+	for flagName, jsonName := range pairs {
+		if _, ok := flags[flagName]; !ok {
+			t.Errorf("flag -%s missing from RegisterSearch", flagName)
+		}
+		if !jsonFields[jsonName] {
+			t.Errorf("RepairOptions has no %q field to pair with -%s", jsonName, flagName)
+		}
+		delete(jsonFields, jsonName)
+	}
+	for leftover := range jsonFields {
+		t.Errorf("RepairOptions.%s has no CLI flag; add it to cliflags or pair it above", leftover)
+	}
+	// -repair itself is the CLI's endpoint toggle (HTTP selects it by URL),
+	// so it pairs with no JSON field but must exist.
+	if _, ok := flags["repair"]; !ok {
+		t.Errorf("flag -repair missing from RegisterSearch")
+	}
+}
+
+// TestRepairOptionsMapping checks the flag → repair.Options translation,
+// including -j flowing into the advisor's validation pool.
+func TestRepairOptionsMapping(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	s := RegisterSearch(fs)
+	if err := fs.Parse([]string{"-repair", "-repair-budget", "750", "-max-candidates", "3", "-j", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Repair {
+		t.Fatal("-repair did not set Search.Repair")
+	}
+	got := s.RepairOptions()
+	if got.Budget != 750 || got.MaxCandidates != 3 || got.Parallelism != 4 {
+		t.Fatalf("RepairOptions() = %+v, want Budget 750, MaxCandidates 3, Parallelism 4", got)
+	}
+}
+
 // TestFinderOptionsMapping checks the flag → core.Options translation,
 // especially -notimeout overriding both limits.
 func TestFinderOptionsMapping(t *testing.T) {
@@ -139,7 +198,8 @@ func TestDefaultsMatchPaper(t *testing.T) {
 		t.Fatalf("defaults = (%v, %v), want (5s, 2m)", s.Timeout, s.Cumulative)
 	}
 	if s.NoTimeout || s.ExtendedSearch || s.FIFOFrontier || s.Stats || s.MaxConfigs != 0 || s.Parallelism != 0 ||
-		s.IntraWorkers != 0 || s.MaxArenaBytes != 0 || s.Faults != "" {
+		s.IntraWorkers != 0 || s.MaxArenaBytes != 0 || s.Faults != "" ||
+		s.Repair || s.RepairBudget != 0 || s.MaxCandidates != 0 {
 		t.Fatalf("non-zero default in %+v", s)
 	}
 }

@@ -1,0 +1,153 @@
+package gdl_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+)
+
+// randomGrammar builds a random Builder grammar that stays inside GDL's
+// expressible subset: identifier nonterminal names, terminal names that are
+// identifiers or quotable punctuation, dense precedence levels 1..L with one
+// associativity per level, and every nonterminal productive of at least one
+// alternative. This is exactly the subset Print documents as round-trippable;
+// everything inside it is fair game for the property.
+func randomGrammar(rng *rand.Rand) (*grammar.Grammar, error) {
+	b := grammar.NewBuilder()
+
+	// Terminals: a mix of bare identifiers and names that force quoting.
+	quotable := []string{"+", "-", "*", "/", ":=", "==", "<=", "<<", "a b", "!", "(", ")"}
+	nTerms := 1 + rng.Intn(8)
+	terms := make([]grammar.Sym, nTerms)
+	for i := range terms {
+		if rng.Intn(2) == 0 {
+			terms[i] = b.Terminal(fmt.Sprintf("T%d", i))
+		} else {
+			terms[i] = b.Terminal(fmt.Sprintf("%s%d", quotable[rng.Intn(len(quotable))], i))
+		}
+	}
+
+	// Dense precedence levels: shuffle the terminals, seed each level 1..L
+	// with one terminal so no level is empty, then spread the rest over
+	// levels 0 (none) .. L. One associativity per level.
+	nLevels := rng.Intn(min(3, nTerms) + 1)
+	shuffled := append([]grammar.Sym(nil), terms...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	assocs := []grammar.Assoc{grammar.AssocLeft, grammar.AssocRight, grammar.AssocNone}
+	levelAssoc := make([]grammar.Assoc, nLevels+1)
+	for lv := 1; lv <= nLevels; lv++ {
+		levelAssoc[lv] = assocs[rng.Intn(len(assocs))]
+		b.SetPrec(shuffled[lv-1], lv, levelAssoc[lv])
+	}
+	for _, t := range shuffled[nLevels:] {
+		if lv := rng.Intn(nLevels + 1); lv > 0 {
+			b.SetPrec(t, lv, levelAssoc[lv])
+		}
+	}
+
+	// Nonterminals, each with at least one alternative so Build's
+	// productivity validation passes.
+	nNts := 1 + rng.Intn(5)
+	nts := make([]grammar.Sym, nNts)
+	for i := range nts {
+		nts[i] = b.Nonterminal(fmt.Sprintf("n%d", i))
+	}
+	syms := append(append([]grammar.Sym(nil), terms...), nts...)
+	for _, lhs := range nts {
+		for alt := 1 + rng.Intn(3); alt > 0; alt-- {
+			rhs := make([]grammar.Sym, rng.Intn(5))
+			for i := range rhs {
+				rhs[i] = syms[rng.Intn(len(syms))]
+			}
+			// Occasional explicit %prec override, sometimes coinciding with
+			// the inferred default (Print must elide it, Equal must not care).
+			prec := grammar.NoSym
+			if rng.Intn(4) == 0 {
+				prec = terms[rng.Intn(len(terms))]
+			}
+			b.Add(lhs, rhs, prec)
+		}
+	}
+	b.SetStart(nts[rng.Intn(len(nts))])
+	return b.Build()
+}
+
+// TestPrintRoundTripProperty is the randomized companion to
+// TestPrintRoundTrip: for seeded random grammars across the expressible
+// subset, parse(Print(g)) is structurally equal to g, the precedence table
+// survives by name, Print is a fixpoint, and the fingerprint of the printed
+// form is stable across the round trip. The seed is fixed so a failure
+// reproduces; bump trials locally when hunting.
+func TestPrintRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		g, err := randomGrammar(rng)
+		if err != nil {
+			t.Fatalf("trial %d: building random grammar: %v", trial, err)
+		}
+		printed, err := gdl.Print(g)
+		if err != nil {
+			t.Fatalf("trial %d: print: %v\n--- grammar ---\n%s", trial, err, g.String())
+		}
+		back, err := gdl.Parse("prop", printed)
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n--- printed ---\n%s", trial, err, printed)
+		}
+		if !grammar.Equal(g, back) {
+			t.Fatalf("trial %d: parse(Print(g)) != g\n--- printed ---\n%s\n--- original ---\n%s--- reparsed ---\n%s",
+				trial, printed, g.String(), back.String())
+		}
+
+		// The precedence table survives by name, not just through Equal:
+		// every original terminal maps to a reparsed terminal with the same
+		// level and associativity.
+		byName := map[string]grammar.Sym{}
+		for _, bt := range back.Terminals() {
+			byName[back.Name(bt)] = bt
+		}
+		for _, ot := range g.Terminals() {
+			bt, ok := byName[g.Name(ot)]
+			if !ok {
+				t.Fatalf("trial %d: terminal %q lost in round trip", trial, g.Name(ot))
+			}
+			olv, oa := g.Prec(ot)
+			blv, ba := back.Prec(bt)
+			if olv != blv || oa != ba {
+				t.Fatalf("trial %d: terminal %q prec (%d,%v) became (%d,%v)\n--- printed ---\n%s",
+					trial, g.Name(ot), olv, oa, blv, ba, printed)
+			}
+		}
+
+		// Fixpoint and fingerprint stability: printing the reparse reproduces
+		// the bytes, so the cache key of the canonical form is stable.
+		again, err := gdl.Print(back)
+		if err != nil {
+			t.Fatalf("trial %d: second print: %v", trial, err)
+		}
+		if again != printed {
+			t.Fatalf("trial %d: Print is not a fixpoint\n--- first ---\n%s\n--- second ---\n%s", trial, printed, again)
+		}
+		fp1, err := gdl.Fingerprint("prop", printed, gdl.Limits{})
+		if err != nil {
+			t.Fatalf("trial %d: fingerprint: %v", trial, err)
+		}
+		fp2, err := gdl.Fingerprint("prop", again, gdl.Limits{})
+		if err != nil {
+			t.Fatalf("trial %d: fingerprint (second): %v", trial, err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("trial %d: fingerprint changed across the round trip", trial)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

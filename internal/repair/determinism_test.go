@@ -1,0 +1,86 @@
+package repair
+
+import (
+	"context"
+	"testing"
+
+	"lrcex/internal/core"
+	"lrcex/internal/corpus"
+	"lrcex/internal/gdl"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// findExamples runs the deterministic-budget analysis outside Advise so
+// tests can hand examples in explicitly.
+func findExamples(t *testing.T, g *grammar.Grammar) []*core.Example {
+	t.Helper()
+	c := core.Compile(lr.BuildTable(lr.Build(g)))
+	f := core.NewFinderFromCompiled(c, core.Options{
+		PerConflictTimeout: core.NoTimeout,
+		CumulativeTimeout:  core.NoTimeout,
+		MaxConfigs:         500,
+	})
+	exs, err := f.FindAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exs
+}
+
+// TestDeterminismMatrix is the acceptance property of the advisor's report:
+// the rendered ranking is byte-identical at -j 1 and -j 8 (and the package's
+// own validation pool never leaks scheduling into outcomes). Run under -race
+// by verify.sh tier 2.
+func TestDeterminismMatrix(t *testing.T) {
+	names := corpus.SmokeNames()
+	for _, name := range names {
+		e, ok := corpus.Get(name)
+		if !ok {
+			t.Fatalf("unknown corpus grammar %s", name)
+		}
+		g := e.Grammar()
+		var want string
+		for _, j := range []int{1, 8} {
+			res, err := Advise(context.Background(), Input{Name: name, Grammar: g},
+				Options{Parallelism: j, Budget: 500})
+			if err != nil {
+				t.Fatalf("%s -j%d: %v", name, j, err)
+			}
+			got := res.Render()
+			if j == 1 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: report differs between -j1 and -j%d:\n--- j1 ---\n%s\n--- j%d ---\n%s",
+					name, j, want, j, got)
+			}
+		}
+	}
+}
+
+// TestDeadlinePartial: a cancelled context yields a partial report with
+// every unvalidated candidate marked, not an error or a hang.
+func TestDeadlinePartial(t *testing.T) {
+	src, _ := corpus.Get("figure1")
+	g, err := gdl.Parse("figure1", src.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Advise(ctx, Input{Name: "figure1", Grammar: g, Examples: findExamples(t, g)}, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatalf("cancelled context did not mark the report partial: %+v", res)
+	}
+	if res.Validated != 0 {
+		t.Errorf("validated %d candidates under a cancelled context", res.Validated)
+	}
+	if res.Rejected[RejectDeadline] == 0 {
+		t.Errorf("no deadline rejections recorded: %v", res.Rejected)
+	}
+}

@@ -1,0 +1,161 @@
+package repair
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lrcex/internal/gdl"
+)
+
+func adviseFile(t *testing.T, file string) *Result {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gdl.Parse(file, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Advise(context.Background(), Input{Name: file, Grammar: g}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestGoldenDanglingElse pins the advisor's behavior on the classic
+// dangling-else grammar: at least one validated fix must drive the conflict
+// count to zero, the top-ranked suggestion must be the yacc-style precedence
+// ordering ('then' below 'else', preferring the shift), and the
+// matched/open restructuring must also survive validation.
+func TestGoldenDanglingElse(t *testing.T) {
+	res := adviseFile(t, "danglingelse.cfg")
+	if res.ConflictCount != 1 {
+		t.Fatalf("conflicts = %d, want 1", res.ConflictCount)
+	}
+	if !res.ZeroConflict {
+		t.Fatalf("no validated zero-conflict fix:\n%s", res.Render())
+	}
+	adv := res.PerConflict[0]
+	if len(adv.Suggestions) == 0 {
+		t.Fatalf("no suggestions:\n%s", res.Render())
+	}
+	top := adv.Suggestions[0]
+	if top.Kind != KindPrecedence || top.Prefers != "shift" || top.ConflictsAfter != 0 {
+		t.Errorf("top suggestion = kind %s prefers %s after %d, want precedence/shift/0\n%s",
+			top.Kind, top.Prefers, top.ConflictsAfter, res.Render())
+	}
+	if top.ProbesOK == 0 {
+		t.Errorf("top suggestion replayed no sentences")
+	}
+	var sawFactor bool
+	for _, o := range adv.Suggestions {
+		if o.Kind == KindDanglingElse {
+			sawFactor = true
+			if o.ConflictsAfter != 0 {
+				t.Errorf("matched/open factoring left %d conflicts", o.ConflictsAfter)
+			}
+		}
+	}
+	if !sawFactor {
+		t.Errorf("matched/open factoring missing from validated suggestions:\n%s", res.Render())
+	}
+	// Round-trip sanity: the winning patch must itself be a fixed point of
+	// the advisor (no conflicts, nothing to repair).
+	g2, err := gdl.Parse("repaired", top.Patch)
+	if err != nil {
+		t.Fatalf("winning patch does not reparse: %v\n%s", err, top.Patch)
+	}
+	res2, err := Advise(context.Background(), Input{Name: "repaired", Grammar: g2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ConflictCount != 0 {
+		t.Errorf("repaired grammar still has %d conflicts", res2.ConflictCount)
+	}
+}
+
+// TestGoldenExprPlus pins the expression-precedence golden grammar
+// (expr : expr '+' expr | 'num'): %left '+' must win, %nonassoc '+' must be
+// rejected as language-breaking (it turns num+num+num into a syntax error —
+// the replay probes catch exactly this), and the stratified restructure must
+// validate too.
+func TestGoldenExprPlus(t *testing.T) {
+	res := adviseFile(t, "exprplus.cfg")
+	if res.ConflictCount != 1 {
+		t.Fatalf("conflicts = %d, want 1", res.ConflictCount)
+	}
+	if !res.ZeroConflict {
+		t.Fatalf("no validated zero-conflict fix:\n%s", res.Render())
+	}
+	adv := res.PerConflict[0]
+	if len(adv.Suggestions) == 0 {
+		t.Fatalf("no suggestions:\n%s", res.Render())
+	}
+	top := adv.Suggestions[0]
+	if top.Kind != KindPrecedence || top.Prefers != "reduce" || top.ConflictsAfter != 0 {
+		t.Errorf("top suggestion = kind %s prefers %s after %d, want precedence/reduce(left-assoc)/0\n%s",
+			top.Kind, top.Prefers, top.ConflictsAfter, res.Render())
+	}
+	var nonassocRejected, sawChain bool
+	for _, o := range adv.RejectedOutcomes {
+		if o.Prefers == "error" && o.Rejected == RejectBreaking {
+			nonassocRejected = true
+		}
+	}
+	for _, o := range adv.Suggestions {
+		if o.Kind == KindOperatorChain {
+			sawChain = true
+			if o.ConflictsAfter != 0 {
+				t.Errorf("stratified chain left %d conflicts", o.ConflictsAfter)
+			}
+		}
+		if o.Prefers == "error" {
+			t.Errorf("%%nonassoc survived validation — the replay oracle missed a language break:\n%s", res.Render())
+		}
+	}
+	if !nonassocRejected {
+		t.Errorf("%%nonassoc candidate was not rejected as language-breaking:\n%s", res.Render())
+	}
+	if !sawChain {
+		t.Errorf("operator-chain restructure missing from validated suggestions:\n%s", res.Render())
+	}
+}
+
+// TestDropDuplicateProduction checks the reduce/reduce repair: a literally
+// duplicated production is detected from the conflict items and removed.
+func TestDropDuplicateProduction(t *testing.T) {
+	g := gdl.MustParse("dup", `
+s : 'a' x | 'b' ;
+x : 'c' | 'c' ;
+`)
+	res, err := Advise(context.Background(), Input{Name: "dup", Grammar: g}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConflictCount != 1 {
+		t.Fatalf("conflicts = %d, want 1", res.ConflictCount)
+	}
+	if !res.ZeroConflict {
+		t.Fatalf("duplicate production not repaired:\n%s", res.Render())
+	}
+	top := res.PerConflict[0].Suggestions[0]
+	if top.Kind != KindDropDuplicate {
+		t.Errorf("top suggestion kind = %s, want %s", top.Kind, KindDropDuplicate)
+	}
+}
+
+// TestNoConflictsNoCandidates: an LALR(1) grammar yields an empty report.
+func TestNoConflictsNoCandidates(t *testing.T) {
+	g := gdl.MustParse("clean", "s : 'a' s | 'b' ;")
+	res, err := Advise(context.Background(), Input{Name: "clean", Grammar: g}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConflictCount != 0 || res.Candidates != 0 || len(res.PerConflict) != 0 {
+		t.Fatalf("unexpected work on a conflict-free grammar: %+v", res)
+	}
+}

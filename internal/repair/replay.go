@@ -1,0 +1,160 @@
+package repair
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lrcex/internal/engine"
+	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+)
+
+// recognizer decides whether a sentence is accepted by the parser a table
+// DESCRIBES, not merely derivable in the grammar. The distinction is the
+// whole point of repair validation: engine.GLR explores every automaton
+// action and so measures the grammar's language, which precedence
+// declarations never change — but a %nonassoc declaration (or any
+// resolution) changes the language the GENERATED PARSER accepts, and that is
+// what a repair must not shrink. The recognizer therefore follows the
+// resolved action table exactly, and forks GLR-style only at entries a
+// genuine unresolved conflict leaves nondeterministic (so an unrepaired
+// conflict is read as "either action may be taken", never as yacc's
+// shift-wins default).
+type recognizer struct {
+	tbl *lr.Table
+	// fork[state][sym] lists every colliding action at entries that carry an
+	// unresolved conflict; elsewhere the resolved Actions map is authoritative.
+	fork map[int]map[grammar.Sym][]lr.Action
+	// maxStacks bounds the fork frontier like engine.GLR's MaxStacks;
+	// exceeding it yields engine.ErrForkLimit (a budget verdict, not a parse
+	// verdict).
+	maxStacks int
+}
+
+func newRecognizer(tbl *lr.Table) *recognizer {
+	r := &recognizer{tbl: tbl, fork: map[int]map[grammar.Sym][]lr.Action{}, maxStacks: 4096}
+	a := tbl.A
+	for _, c := range tbl.Conflicts {
+		byState := r.fork[c.State]
+		if byState == nil {
+			byState = map[grammar.Sym][]lr.Action{}
+			r.fork[c.State] = byState
+		}
+		for _, sym := range c.Syms {
+			if byState[sym] != nil {
+				continue
+			}
+			// Reconstruct the full action set from the automaton, the way
+			// the GLR oracle does.
+			st := a.States[c.State]
+			var acts []lr.Action
+			if tgt, ok := st.Trans[sym]; ok {
+				acts = append(acts, lr.Action{Kind: lr.ActionShift, Target: tgt})
+			}
+			for idx, it := range st.Items {
+				if !a.IsReduce(it) || !st.Lookahead[idx].Has(a.G.TermIndex(sym)) {
+					continue
+				}
+				if pid := a.Prod(it); pid == 0 {
+					acts = append(acts, lr.Action{Kind: lr.ActionAccept})
+				} else {
+					acts = append(acts, lr.Action{Kind: lr.ActionReduce, Target: pid})
+				}
+			}
+			byState[sym] = acts
+		}
+	}
+	return r
+}
+
+func (r *recognizer) actionsAt(state int, t grammar.Sym) []lr.Action {
+	if byState := r.fork[state]; byState != nil {
+		if acts := byState[t]; acts != nil {
+			return acts
+		}
+	}
+	if act, ok := r.tbl.Actions[state][t]; ok {
+		return []lr.Action{act}
+	}
+	return nil
+}
+
+// rstack is a persistent stack of parser states (no trees: recognition only).
+type rstack struct {
+	state int
+	prev  *rstack
+}
+
+func rkey(s *rstack) string {
+	var sb strings.Builder
+	for ; s != nil; s = s.prev {
+		sb.WriteString(strconv.Itoa(s.state))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+// accepts reports whether the resolved parser accepts the terminal string.
+func (r *recognizer) accepts(words []grammar.Sym) (bool, error) {
+	g := r.tbl.A.G
+	tokens := append(append([]grammar.Sym(nil), words...), grammar.EOF)
+	stacks := []*rstack{{state: 0}}
+	for _, la := range tokens {
+		var next []*rstack
+		work := append([]*rstack(nil), stacks...)
+		seen := map[string]bool{}
+		for len(work) > 0 {
+			if len(work)+len(next) > r.maxStacks {
+				return false, fmt.Errorf("%w (%d stacks)", engine.ErrForkLimit, r.maxStacks)
+			}
+			st := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, act := range r.actionsAt(st.state, la) {
+				switch act.Kind {
+				case lr.ActionShift:
+					next = append(next, &rstack{state: act.Target, prev: st})
+				case lr.ActionReduce:
+					p := g.Production(act.Target)
+					top := st
+					for range p.RHS {
+						top = top.prev
+					}
+					tgt, ok := r.tbl.Gotos[top.state][p.LHS]
+					if !ok {
+						continue
+					}
+					ns := &rstack{state: tgt, prev: top}
+					if k := rkey(ns); !seen[k] {
+						seen[k] = true
+						work = append(work, ns)
+					}
+				case lr.ActionAccept:
+					return true, nil
+				}
+			}
+		}
+		// Dedup identical stacks before the next token.
+		uniq := map[string]bool{}
+		stacks = stacks[:0]
+		for _, s := range next {
+			if k := rkey(s); !uniq[k] {
+				uniq[k] = true
+				stacks = append(stacks, s)
+			}
+		}
+		if len(stacks) == 0 {
+			return false, nil
+		}
+	}
+	// Closing pass: stacks that shifted $ sit in a state whose action under
+	// $ is the accept.
+	for _, st := range stacks {
+		for _, act := range r.actionsAt(st.state, grammar.EOF) {
+			if act.Kind == lr.ActionAccept {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -297,14 +297,19 @@ func symNames(g *grammar.Grammar, syms []grammar.Sym) []string {
 // When nil, the artifact is built here and offered to onCompiled before the
 // searches start, so even an analysis that later times out or is cancelled
 // leaves the compiled grammar behind for the retry.
-func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, compiled *core.Compiled, onCompiled func(*core.Compiled), opts AnalyzeOptions, base core.Options) (*AnalyzeResponse, error) {
+//
+// Alongside the wire-form response it returns the raw examples in conflict
+// order — the repair advisor consumes them directly (they seed candidate
+// synthesis and the replay probes), and converting back from ExampleJSON
+// would lose the symbol-level derivations.
+func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, compiled *core.Compiled, onCompiled func(*core.Compiled), opts AnalyzeOptions, base core.Options) (*AnalyzeResponse, []*core.Example, error) {
 	resp := &AnalyzeResponse{Name: name, Fingerprint: fp}
 	resp.Nonterminals = len(g.Nonterminals())
 	resp.Productions = g.NumProductions()
 
 	if err := ctx.Err(); err != nil {
 		resp.Partial = true
-		return resp, err
+		return resp, nil, err
 	}
 
 	if compiled == nil {
@@ -383,11 +388,11 @@ func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, compiled 
 		// status. Any other error from FindAllContext is a genuine failure.
 		if ctx.Err() != nil {
 			resp.Partial = true
-			return resp, ctx.Err()
+			return resp, exs, ctx.Err()
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return resp, nil
+	return resp, exs, nil
 }
 
 func msSince(t time.Time) float64 {

@@ -5,10 +5,12 @@ import (
 	"sync"
 )
 
-// resultCache is a mutex-guarded LRU over complete analysis reports, keyed
-// by canonical-fingerprint + report-affecting options. Values are immutable
-// once inserted (handlers copy the top-level struct before mutating the
-// Cached flag), so a hit is a pointer share, not a deep copy.
+// resultCache is a mutex-guarded LRU over complete reports — analysis
+// responses and repair responses share it, disambiguated by key prefix
+// ("repair|" + fingerprint × repair options vs fingerprint × options alone).
+// Values are immutable once inserted (handlers copy the top-level struct
+// before mutating the Cached flag), so a hit is a pointer share, not a deep
+// copy.
 type resultCache struct {
 	mu        sync.Mutex
 	max       int
@@ -21,7 +23,7 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
-	val *AnalyzeResponse
+	val any
 }
 
 // newResultCache returns an LRU holding at most max entries; max <= 0
@@ -35,7 +37,7 @@ func newResultCache(max int) *resultCache {
 }
 
 // get returns the cached report for key, refreshing its recency.
-func (c *resultCache) get(key string) (*AnalyzeResponse, bool) {
+func (c *resultCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -49,7 +51,7 @@ func (c *resultCache) get(key string) (*AnalyzeResponse, bool) {
 
 // add inserts (or refreshes) key, evicting the least recently used entry
 // when the capacity is exceeded.
-func (c *resultCache) add(key string, val *AnalyzeResponse) {
+func (c *resultCache) add(key string, val any) {
 	if c.max <= 0 {
 		return
 	}

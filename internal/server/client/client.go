@@ -106,6 +106,24 @@ func New(baseURL string, opts ...Option) *Client {
 // admit a half-open probe by then); when retries are exhausted the
 // *CircuitOpenError itself is returned, carrying the remaining cooldown.
 func (c *Client) Analyze(ctx context.Context, req *server.AnalyzeRequest) (*server.AnalyzeResponse, error) {
+	return roundTrip[server.AnalyzeResponse](c, ctx, "/v1/analyze", req,
+		func(r *server.AnalyzeResponse) bool { return r.Partial })
+}
+
+// Repair submits a grammar to /v1/repair and returns the combined analysis +
+// advisory report. Retry, backoff, partial-504, and circuit-breaker behavior
+// are identical to Analyze — both run through the same round trip.
+func (c *Client) Repair(ctx context.Context, req *server.RepairRequest) (*server.RepairResponse, error) {
+	return roundTrip[server.RepairResponse](c, ctx, "/v1/repair", req,
+		func(r *server.RepairResponse) bool { return r.Partial })
+}
+
+// roundTrip is the shared request loop: marshal once, then attempt until
+// success, a non-retryable failure, or retries run out, honoring the breaker
+// and the server's Retry-After hint. isPartial reports whether a decoded 504
+// body is a meaningful partial report (returned alongside the *HTTPError)
+// rather than a plain error envelope.
+func roundTrip[T any](c *Client, ctx context.Context, path string, req any, isPartial func(*T) bool) (*T, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("cexd: encoding request: %w", err)
@@ -125,7 +143,7 @@ func (c *Client) Analyze(ctx context.Context, req *server.AnalyzeRequest) (*serv
 			}
 			continue
 		}
-		resp, herr := c.post(ctx, "/v1/analyze", body)
+		resp, herr := post[T](c, ctx, path, body, isPartial)
 		// Client-side cancellation says nothing about server health: release
 		// the breaker slot without counting a failure.
 		if herr != nil && ctx.Err() != nil {
@@ -183,7 +201,7 @@ func (c *Client) backoffFor(attempt int, retryAfter time.Duration) time.Duration
 
 // post sends one request and decodes the response; non-2xx (other than the
 // partial-report 504) yields *HTTPError.
-func (c *Client) post(ctx context.Context, path string, body []byte) (*server.AnalyzeResponse, error) {
+func post[T any](c *Client, ctx context.Context, path string, body []byte, isPartial func(*T) bool) (*T, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -196,7 +214,7 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*server.An
 	defer hres.Body.Close()
 
 	if hres.StatusCode == http.StatusOK {
-		var out server.AnalyzeResponse
+		var out T
 		if err := json.NewDecoder(hres.Body).Decode(&out); err != nil {
 			return nil, fmt.Errorf("cexd: decoding response: %w", err)
 		}
@@ -205,9 +223,9 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*server.An
 	he := &HTTPError{Status: hres.StatusCode, RetryAfter: parseRetryAfter(hres.Header.Get("Retry-After"))}
 	raw, _ := io.ReadAll(io.LimitReader(hres.Body, 1<<20))
 	if hres.StatusCode == http.StatusGatewayTimeout {
-		// Partial report: body is an AnalyzeResponse, not an ErrorResponse.
-		var out server.AnalyzeResponse
-		if err := json.Unmarshal(raw, &out); err == nil && out.Partial {
+		// Partial report: body is a report envelope, not an ErrorResponse.
+		var out T
+		if err := json.Unmarshal(raw, &out); err == nil && isPartial(&out) {
 			he.Code, he.Message = "deadline", "partial report: request deadline expired mid-search"
 			return &out, he
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"lrcex/internal/repair"
 	"lrcex/internal/server"
 )
 
@@ -62,6 +63,16 @@ func okResponse(name string) func(w http.ResponseWriter) {
 	}
 }
 
+func okRepairResponse(name string, validated int) func(w http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.RepairResponse{
+			AnalyzeResponse: server.AnalyzeResponse{Name: name, Fingerprint: strings.Repeat("ab", 32)},
+			Repair:          &repair.Result{Name: name, Validated: validated},
+		})
+	}
+}
+
 func TestRetryOn429ThenSuccess(t *testing.T) {
 	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
 		jsonError(http.StatusTooManyRequests, "overloaded", "queue full", ""),
@@ -81,6 +92,58 @@ func TestRetryOn429ThenSuccess(t *testing.T) {
 	}
 	if got := fs.calls.Load(); got != 3 {
 		t.Fatalf("server saw %d requests, want 3 (two retries)", got)
+	}
+}
+
+// TestRepairRetryOn429ThenSuccess: Repair shares Analyze's retry loop and
+// decodes the combined response, advisory half included.
+func TestRepairRetryOn429ThenSuccess(t *testing.T) {
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
+		jsonError(http.StatusTooManyRequests, "overloaded", "queue full", ""),
+		okRepairResponse("g", 2),
+	}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	resp, err := c.Repair(context.Background(), &server.RepairRequest{Name: "g", Grammar: figure1})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if resp.Name != "g" || resp.Repair == nil || resp.Repair.Validated != 2 {
+		t.Fatalf("resp = %+v, want advisory half with 2 validated", resp)
+	}
+	if got := fs.calls.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (one retry)", got)
+	}
+}
+
+// TestRepairPartial504ReturnsBothHalves: a deadline-expired repair request
+// still hands back the partial report next to the 504 error.
+func TestRepairPartial504ReturnsBothHalves(t *testing.T) {
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){
+		func(w http.ResponseWriter) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusGatewayTimeout)
+			json.NewEncoder(w).Encode(server.RepairResponse{
+				AnalyzeResponse: server.AnalyzeResponse{Name: "g", Partial: true},
+			})
+		},
+	}}
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	resp, err := c.Repair(context.Background(), &server.RepairRequest{Grammar: figure1})
+	if resp == nil || !resp.Partial {
+		t.Fatalf("resp = %+v, want partial report", resp)
+	}
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusGatewayTimeout {
+		t.Fatalf("err = %v, want 504 *HTTPError alongside the partial report", err)
+	}
+	if got := fs.calls.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (504 is not retried)", got)
 	}
 }
 
@@ -239,6 +302,25 @@ func TestEndToEnd(t *testing.T) {
 	he, ok := err.(*HTTPError)
 	if !ok || he.Status != http.StatusUnprocessableEntity {
 		t.Fatalf("err = %v, want 422 for malformed GDL", err)
+	}
+
+	// The repair endpoint through the same client: figure1's precedence
+	// conflicts get candidates, at least one validated.
+	rresp, err := c.Repair(ctx, &server.RepairRequest{Name: "figure1", Grammar: figure1,
+		Options: server.AnalyzeOptions{NoTimeout: true, MaxConfigs: 20000}})
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if rresp.Repair == nil || rresp.Repair.ConflictCount == 0 || rresp.Repair.Validated == 0 {
+		t.Fatalf("rresp.Repair = %+v, want validated suggestions for figure1", rresp.Repair)
+	}
+	rresp2, err := c.Repair(ctx, &server.RepairRequest{Name: "figure1", Grammar: figure1,
+		Options: server.AnalyzeOptions{NoTimeout: true, MaxConfigs: 20000}})
+	if err != nil {
+		t.Fatalf("Repair (resubmit): %v", err)
+	}
+	if !rresp2.Cached {
+		t.Fatal("repair resubmission not served from cache")
 	}
 }
 

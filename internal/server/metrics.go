@@ -9,6 +9,7 @@ import (
 
 	"lrcex/internal/core"
 	"lrcex/internal/faults"
+	"lrcex/internal/repair"
 )
 
 // Request outcomes, the label space of the request counters and latency
@@ -68,6 +69,14 @@ type metrics struct {
 	stalls           atomic.Int64 // watchdog abandonments
 	degradedSearches atomic.Int64 // conflicts answered degraded (recovered/memory)
 
+	// Repair advisor counters (/v1/repair).
+	repairs           atomic.Int64 // advisor runs executed (cache + collapse skips excluded)
+	repairCandidates  atomic.Int64 // candidates synthesized
+	repairValidated   atomic.Int64 // distinct patches that survived validation
+	repairRejected    atomic.Int64 // distinct patches rejected (all reasons)
+	repairSuggestions atomic.Int64 // suggestions served in responses (cache hits included)
+	repairCacheHits   atomic.Int64 // repair reports served from the result cache
+
 	searchExpanded     atomic.Int64
 	searchPushed       atomic.Int64
 	searchDedup        atomic.Int64
@@ -122,6 +131,19 @@ func (m *metrics) addSearchStats(s core.SearchStats) {
 			return
 		}
 	}
+}
+
+// addRepair folds one executed advisor run's tallies into the cumulative
+// counters.
+func (m *metrics) addRepair(r *repair.Result) {
+	m.repairs.Add(1)
+	m.repairCandidates.Add(int64(r.Candidates))
+	m.repairValidated.Add(int64(r.Validated))
+	rejected := 0
+	for _, n := range r.Rejected {
+		rejected += n
+	}
+	m.repairRejected.Add(int64(rejected))
 }
 
 // addPhaseTimings folds one executed analysis' phase breakdown into the
@@ -198,6 +220,13 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 	gauge("cexd_health_state", "Health tri-state: 0 ok, 1 degraded, 2 draining.", healthState)
 
 	counter("cexd_analyses_total", "Analyses executed (cache hits and collapsed requests excluded).", m.analyses.Load())
+
+	counter("cexd_repair_runs_total", "Repair-advisor runs executed (cache hits and collapsed requests excluded).", m.repairs.Load())
+	counter("cexd_repair_candidates_total", "Repair candidates synthesized.", m.repairCandidates.Load())
+	counter("cexd_repair_validated_total", "Distinct repair patches that survived validation.", m.repairValidated.Load())
+	counter("cexd_repair_rejected_total", "Distinct repair patches rejected (all reasons).", m.repairRejected.Load())
+	counter("cexd_repair_suggestions_total", "Repair suggestions served in responses (cache hits included).", m.repairSuggestions.Load())
+	counter("cexd_repair_cache_hits_total", "Repair reports served from the result cache.", m.repairCacheHits.Load())
 
 	fmt.Fprintf(w, "# HELP cexd_analysis_phase_seconds_total Cumulative wall-clock by analysis phase (executed analyses only).\n")
 	fmt.Fprintf(w, "# TYPE cexd_analysis_phase_seconds_total counter\n")

@@ -17,6 +17,8 @@ import (
 	"lrcex/internal/faults"
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
+	"lrcex/internal/lr"
+	"lrcex/internal/repair"
 )
 
 // Config tunes the service. The zero value selects production-safe defaults.
@@ -151,13 +153,21 @@ type job struct {
 	compiled   *core.Compiled
 	onCompiled func(*core.Compiled)
 
+	// repair, when non-nil, asks the worker to run the repair advisor over
+	// the analysis result (the /v1/repair path); nil is a plain analysis.
+	repair *RepairOptions
+
 	res  *jobResult
 	done chan struct{}
 }
 
 // jobResult pairs the report with the HTTP status the handler should send.
+// repair carries the advisory report for /v1/repair jobs (nil otherwise; the
+// handler assembles the RepairResponse from resp + repair after the shared
+// timing stamp).
 type jobResult struct {
 	resp   *AnalyzeResponse
+	repair *repair.Result
 	status int
 	err    error
 }
@@ -244,7 +254,17 @@ func (s *Server) runGuarded(j *job) (res *jobResult) {
 		}
 	}()
 	faults.PanicAt(faults.ServerWorker)
-	resp, err := analyze(j.ctx, j.g, j.name, j.fp, j.compiled, j.onCompiled, j.opts, s.cfg.Finder)
+	// Capture the compiled artifact for the repair advisor: on a compile-cache
+	// miss, analyze builds it and hands it out through the callback chain.
+	compiled := j.compiled
+	onCompiled := j.onCompiled
+	capture := func(c *core.Compiled) {
+		compiled = c
+		if onCompiled != nil {
+			onCompiled(c)
+		}
+	}
+	resp, exs, err := analyze(j.ctx, j.g, j.name, j.fp, j.compiled, capture, j.opts, s.cfg.Finder)
 	res = &jobResult{resp: resp}
 	switch {
 	case err == nil:
@@ -259,7 +279,64 @@ func (s *Server) runGuarded(j *job) (res *jobResult) {
 		res.status = http.StatusInternalServerError
 		res.err = err
 	}
+	if j.repair != nil && res.status == http.StatusOK {
+		rr, rerr := s.runRepair(j, compiled, exs)
+		if rerr != nil {
+			res.status = http.StatusInternalServerError
+			res.err = rerr
+			return res
+		}
+		res.repair = rr
+		if rr.Partial {
+			// The deadline expired inside candidate validation: the analysis
+			// half is complete, the advisory half is cut short — same 504
+			// partial-report contract as a mid-search expiry, never cached.
+			resp.Partial = true
+			res.status = http.StatusGatewayTimeout
+		}
+	}
 	return res
+}
+
+// runRepair runs the repair advisor over one completed analysis, reusing the
+// compiled artifact and the raw examples the search just produced. Candidate
+// patches recompile through the server's compiled-grammar cache.
+func (s *Server) runRepair(j *job, compiled *core.Compiled, exs []*core.Example) (*repair.Result, error) {
+	ropts := j.repair.advisorOptions(j.opts.Parallelism, s.repairCompile)
+	result, err := repair.Advise(j.ctx, repair.Input{
+		Name:     j.name,
+		Grammar:  j.g,
+		Compiled: compiled,
+		Examples: exs,
+	}, ropts)
+	if err != nil {
+		return nil, err
+	}
+	s.m.addRepair(result)
+	return result, nil
+}
+
+// repairCompile is the advisor's CompileFunc inside cexd: candidate patches
+// are fingerprinted and looked up in the compiled-grammar cache before being
+// parsed and built, and fresh builds are inserted — so re-validating the same
+// candidate (across conflicts, retries, or grammars sharing a patch) skips
+// the table construction exactly like resubmitted grammars do.
+func (s *Server) repairCompile(name, src string) (*grammar.Grammar, *core.Compiled, error) {
+	fp, fperr := gdl.Fingerprint(name, src, s.cfg.Limits)
+	if fperr == nil {
+		if ce, ok := s.compile.get(fp); ok {
+			return ce.g, ce.c, nil
+		}
+	}
+	g, err := gdl.ParseLimited(name, src, s.cfg.Limits)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := core.Compile(lr.BuildTable(lr.Build(g)))
+	if fperr == nil {
+		s.compile.add(fp, &compiledGrammar{g: g, c: c})
+	}
+	return g, c, nil
 }
 
 func coreStats(s StatsJSON) core.SearchStats {
@@ -329,11 +406,13 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Handler returns the service's HTTP mux:
 //
 //	POST /v1/analyze   analyze a grammar
+//	POST /v1/repair    analyze + synthesize and validate conflict repairs
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/repair", s.handleRepair)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.withRequestID(mux)
@@ -376,6 +455,62 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	compile.hits, compile.misses, compile.evictions = s.compile.counters()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.m.write(w, len(s.jobs), cap(s.jobs), result, compile, s.healthState())
+}
+
+// execute runs one admitted analysis (or analysis + repair, when rep is
+// non-nil) through the singleflight, the bounded queue, and the watchdog —
+// the shared middle of /v1/analyze and /v1/repair. Identical concurrent
+// submissions ride one execution; the flight runs on a context detached from
+// any single client so a leader disconnect cannot poison followers; the
+// deadline still bounds it, and queue wait spends from the same budget.
+func (s *Server) execute(key string, g *grammar.Grammar, name, fp string, compiled *core.Compiled, opts AnalyzeOptions, rep *RepairOptions, deadline time.Duration, parseMS float64) (*jobResult, error, bool) {
+	return s.sf.do(key, func() (*jobResult, error) {
+		// Injected downstream failure inside the singleflight leader: the
+		// whole flight errors (leader and followers all see the 500).
+		if err := faults.ErrorAt(faults.ServerFlight); err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		j := &job{
+			g: g, name: name, fp: fp, opts: opts, compiled: compiled, repair: rep,
+			ctx: ctx, admitted: time.Now(), done: make(chan struct{}),
+		}
+		if compiled == nil {
+			// Insert into the compile cache as soon as the worker finishes
+			// the build — before the searches — so even a deadline-expired
+			// analysis leaves the tables behind for the retry.
+			j.onCompiled = func(c *core.Compiled) {
+				s.compile.add(fp, &compiledGrammar{g: g, c: c})
+			}
+		}
+		if err := s.submit(j); err != nil {
+			return nil, err
+		}
+		// Watchdog: the worker should answer within the deadline (context
+		// cancellation propagates into the search) plus scheduling slack. If
+		// it doesn't, something is wedged below us — stop holding the client
+		// hostage, answer 500, count the stall, degrade health.
+		wd := time.NewTimer(deadline + s.cfg.WatchdogGrace)
+		defer wd.Stop()
+		select {
+		case <-j.done:
+		case <-wd.C:
+			s.m.stalls.Add(1)
+			s.health.stalled()
+			s.logf("watchdog: analysis of %q still running %v past its deadline; abandoning", name, s.cfg.WatchdogGrace)
+			return nil, errWatchdog
+		}
+		// Safe to mutate here: followers are still blocked on the flight,
+		// and nothing else holds the report yet. Phase totals accumulate
+		// here rather than per request so collapsed followers and cache
+		// hits never double-count work that ran once.
+		if j.res.resp != nil {
+			j.res.resp.Timings.ParseMS = parseMS
+			s.m.addPhaseTimings(j.res.resp.Timings)
+		}
+		return j.res, nil
+	})
 }
 
 // handleAnalyze is the hot path: decode → fingerprint → cache → parse →
@@ -433,7 +568,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		// Injected cache-node loss: the hit is discarded and the analysis
 		// re-runs, exercising the miss path's correctness under chaos.
 		if !faults.Should(faults.ServerCache) {
-			resp := *cached // shallow copy: slices are shared, immutable
+			resp := *cached.(*AnalyzeResponse) // shallow copy: slices are shared, immutable
 			resp.Cached = true
 			s.respond(w, start, http.StatusOK, &resp, outcomeCacheHit)
 			return
@@ -469,57 +604,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 
-	// Singleflight: identical concurrent submissions ride one execution.
-	// The flight runs on a context detached from any single client so a
-	// leader disconnect cannot poison followers; the deadline still bounds
-	// it, and queue wait spends from the same budget.
-	res, err, shared := s.sf.do(key, func() (*jobResult, error) {
-		// Injected downstream failure inside the singleflight leader: the
-		// whole flight errors (leader and followers all see the 500).
-		if err := faults.ErrorAt(faults.ServerFlight); err != nil {
-			return nil, err
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), deadline)
-		defer cancel()
-		j := &job{
-			g: g, name: name, fp: fp, opts: req.Options, compiled: compiled,
-			ctx: ctx, admitted: time.Now(), done: make(chan struct{}),
-		}
-		if compiled == nil {
-			// Insert into the compile cache as soon as the worker finishes
-			// the build — before the searches — so even a deadline-expired
-			// analysis leaves the tables behind for the retry.
-			j.onCompiled = func(c *core.Compiled) {
-				s.compile.add(fp, &compiledGrammar{g: g, c: c})
-			}
-		}
-		if err := s.submit(j); err != nil {
-			return nil, err
-		}
-		// Watchdog: the worker should answer within the deadline (context
-		// cancellation propagates into the search) plus scheduling slack. If
-		// it doesn't, something is wedged below us — stop holding the client
-		// hostage, answer 500, count the stall, degrade health.
-		wd := time.NewTimer(deadline + s.cfg.WatchdogGrace)
-		defer wd.Stop()
-		select {
-		case <-j.done:
-		case <-wd.C:
-			s.m.stalls.Add(1)
-			s.health.stalled()
-			s.logf("watchdog: analysis of %q still running %v past its deadline; abandoning", name, s.cfg.WatchdogGrace)
-			return nil, errWatchdog
-		}
-		// Safe to mutate here: followers are still blocked on the flight,
-		// and nothing else holds the report yet. Phase totals accumulate
-		// here rather than per request so collapsed followers and cache
-		// hits never double-count work that ran once.
-		if j.res.resp != nil {
-			j.res.resp.Timings.ParseMS = parseMS
-			s.m.addPhaseTimings(j.res.resp.Timings)
-		}
-		return j.res, nil
-	})
+	res, err, shared := s.execute(key, g, name, fp, compiled, req.Options, nil, deadline, parseMS)
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.m.shed.Add(1)

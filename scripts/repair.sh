@@ -1,0 +1,19 @@
+#!/bin/sh
+# repair.sh — run the conflict-repair campaign and leave the record in
+# BENCH_repair.json at the repo root.
+#
+# Every corpus grammar goes through the advisor (cmd/cexfix): candidate
+# fixes are synthesized from the counterexample analysis, validated by
+# recompilation under a bounded budget, probed against the original
+# counterexample sentences for language breakage, and ranked. cexfix exits
+# nonzero when any validated suggestion is language-breaking or the ranking
+# differs between 1 and 8 validation workers.
+#
+# Usage: scripts/repair.sh [budget] [out]   (defaults: 2000 configs, BENCH_repair.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+BUDGET="${1:-0}"
+OUT="${2:-BENCH_repair.json}"
+
+go run ./cmd/cexfix -repair-budget "$BUDGET" -out "$OUT"

@@ -12,6 +12,9 @@
 #   tier 6: cexdiff smoke — metamorphic differentials (3 mutators × 5
 #           grammars × 2 seeds); fails on any invariant violation or a
 #           j=1 vs j=8 canonical-report divergence
+#   tier 7: cexfix smoke — the repair advisor over 5 small grammars;
+#           fails on a language-breaking suggestion surviving validation
+#           or a j=1 vs j=8 ranking divergence
 #
 # Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
 set -eu
@@ -28,7 +31,7 @@ go vet ./...
 # -short trims the whole-grammar Java.2 corner points (tier 1 runs them
 # race-free); the intra-worker determinism matrices — the schedules the race
 # detector exists to check — run in full.
-go test -race -short ./internal/core/... ./internal/eval/... ./internal/server/...
+go test -race -short ./internal/core/... ./internal/eval/... ./internal/repair/... ./internal/server/...
 
 echo "== tier 3: fuzz smoke (${FUZZTIME}) =="
 go test -run='^$' -fuzz=FuzzFindAll -fuzztime="$FUZZTIME" ./internal/core/
@@ -43,5 +46,8 @@ go run ./cmd/cexchaos -seed 1 -rate 0.05 -smoke -out /dev/null
 
 echo "== tier 6: metamorphic differential smoke =="
 go run ./cmd/cexdiff -smoke -out /dev/null
+
+echo "== tier 7: repair advisor smoke =="
+go run ./cmd/cexfix -smoke -q -out /dev/null
 
 echo "verify: OK"
