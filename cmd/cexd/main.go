@@ -49,6 +49,8 @@ func main() {
 		maxBody      = flag.Int64("max-body-bytes", 0, "largest accepted request body (0 = max-source-bytes + 64 KiB)")
 		wdGrace      = flag.Duration("watchdog-grace", 0, "extra time past its deadline before an analysis is abandoned with 500 (0 = 30s)")
 		faultSpec    = flag.String("faults", "", "fault-injection spec, e.g. \"seed=42;all=0.05\" (default: LRCEX_FAULTS; empty = disabled)")
+		stateDir     = flag.String("state-dir", "", "directory for the durable cache store (empty = in-memory only)")
+		snapInterval = flag.Duration("snapshot-interval", 0, "background state-snapshot interval (0 = 30s; needs -state-dir)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -76,12 +78,14 @@ func main() {
 			MaxProductions: *maxProds,
 			MaxSymbols:     *maxSyms,
 		},
-		DefaultDeadline: *deadline,
-		MaxDeadline:     *maxDeadline,
-		RetryAfter:      *retryAfter,
-		MaxBodyBytes:    *maxBody,
-		WatchdogGrace:   *wdGrace,
-		Logger:          logger,
+		DefaultDeadline:  *deadline,
+		MaxDeadline:      *maxDeadline,
+		RetryAfter:       *retryAfter,
+		MaxBodyBytes:     *maxBody,
+		WatchdogGrace:    *wdGrace,
+		StateDir:         *stateDir,
+		SnapshotInterval: *snapInterval,
+		Logger:           logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -67,6 +67,16 @@ const (
 	// worker crash → panic on the worker goroutine, which the server must
 	// contain).
 	ServerWorker Point = "server.worker"
+	// PersistWrite fires on durable-state writes (journal appends and
+	// snapshot creation in internal/persist): an append writes a record with
+	// a deliberately corrupted checksum and reports failure — the record is
+	// on disk but will be skipped at the next boot — and a snapshot fails
+	// outright, leaving the previous snapshot and journal intact.
+	PersistWrite Point = "persist.write"
+	// PersistRead fires per record during durable-state recovery (simulated
+	// bit-rot → the record is treated as corrupt and skipped; boot proceeds
+	// with a colder cache).
+	PersistRead Point = "persist.read"
 )
 
 // Points lists every registered injection point (sorted, for specs and
@@ -75,6 +85,7 @@ var Points = []Point{
 	CoreArenaGrow, CoreVisitedGrow, CoreUnifyExpand,
 	GDLParse,
 	ServerQueue, ServerCache, ServerFlight, ServerWorker,
+	PersistWrite, PersistRead,
 }
 
 // Rate arms one point: Prob is the per-evaluation firing probability in

@@ -1,0 +1,69 @@
+package persist
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzPersistLoad throws arbitrary bytes at the recovery path as both the
+// journal and the snapshot. The invariant is the package's boot contract:
+// Load never panics and never errors — the worst corrupt store is an empty
+// one — and the tallies stay coherent (every record is either loaded or
+// skipped, never both, never negative).
+func FuzzPersistLoad(f *testing.F) {
+	// Seeds: a genuine store (journal bytes with three records), its
+	// truncations, a bad-magic file, and a length-bomb prefix.
+	dir := f.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		f.Fatalf("Open: %v", err)
+	}
+	for _, k := range []string{"alpha", "beta", "gamma"} {
+		v, _ := json.Marshal("value-" + k)
+		s.Append(Record{Kind: "result", Key: k, Value: v})
+	}
+	s.Close()
+	valid, _ := os.ReadFile(filepath.Join(dir, journalName))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:len(magic)+5])
+	f.Add([]byte("NOTMYFMT not a store at all"))
+	f.Add([]byte(magic + "\xff\xff\xff\xff rest"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		// The same bytes do duty as journal and snapshot so both scan entry
+		// points are exercised.
+		if err := os.WriteFile(filepath.Join(dir, snapName), data, 0o644); err != nil {
+			t.Skip("cannot stage file")
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName), data, 0o644); err != nil {
+			t.Skip("cannot stage file")
+		}
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open refused a corrupt store: %v", err)
+		}
+		defer st.Close()
+		recs, stats := st.Load()
+		if stats.Loaded != len(recs) {
+			t.Fatalf("Loaded %d != %d records returned", stats.Loaded, len(recs))
+		}
+		if stats.Loaded < 0 || stats.Skipped < 0 || stats.Bytes < 0 {
+			t.Fatalf("negative stats: %+v", stats)
+		}
+		for _, r := range recs {
+			if r.Key == "" {
+				t.Fatalf("loaded record with empty key: %+v", r)
+			}
+		}
+		// The store must remain appendable after any recovery.
+		v, _ := json.Marshal("post")
+		if err := st.Append(Record{Kind: "result", Key: "post", Value: v}); err != nil {
+			t.Fatalf("Append after corrupt load: %v", err)
+		}
+	})
+}

@@ -1,0 +1,400 @@
+// Package persist is cexd's crash-consistent durable-state store. It backs
+// the daemon's in-memory LRUs (results, repair reports, compiled-grammar
+// fingerprints) with two on-disk files per store directory:
+//
+//	cexd.snap     — a full snapshot, rewritten atomically (temp file + fsync
+//	                + rename) by the background snapshotter and on drain
+//	cexd.journal  — an append-only journal of cache inserts since the last
+//	                snapshot, truncated after every successful snapshot
+//
+// Recovery replays the snapshot then the journal. Replay is idempotent
+// (later records for a key supersede earlier ones), so every crash window —
+// before a journal append completes, between a snapshot rename and the
+// journal truncation, mid-rename — converges to a valid store.
+//
+// Record format (shared by both files), after an 8-byte file magic:
+//
+//	[4-byte big-endian payload length][32-byte SHA-256 of payload][payload]
+//
+// The payload is a versioned JSON envelope (Record). Recovery is tolerant by
+// construction and NEVER refuses to load: a truncated tail stops the scan, a
+// checksum mismatch or undecodable/ version-skewed payload skips exactly that
+// record (the length prefix still frames the next one), an unrecognized file
+// magic discards the whole file, and an implausible length (corrupt prefix)
+// abandons the rest of the file. Everything skipped is counted in LoadStats —
+// a corrupt store is a cold cache, not a boot failure.
+//
+// The faults package's persist.write and persist.read points make both
+// corruption directions replayable by seed: an armed write fault persists a
+// record with a deliberately bad checksum and reports the failure; an armed
+// read fault treats a healthy record as rotten during recovery.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"lrcex/internal/faults"
+)
+
+const (
+	// magic identifies the file format and its major version. Bumping the
+	// format bumps the trailing digit; old daemons skip new files whole
+	// (cold start) instead of misparsing them.
+	magic = "LRCXST1\n"
+	// recordVersion is the payload-envelope version; records from a newer
+	// minor revision are skipped individually.
+	recordVersion = 1
+	// maxRecordBytes caps a single record so a corrupt length prefix cannot
+	// drive a multi-gigabyte allocation during recovery.
+	maxRecordBytes = 64 << 20
+
+	snapName    = "cexd.snap"
+	journalName = "cexd.journal"
+)
+
+// Record is one persisted cache entry. Kind routes it back to the right
+// in-memory cache on load; the store itself is agnostic to the contents.
+type Record struct {
+	// V is the envelope version (recordVersion when written by this build).
+	V int `json:"v"`
+	// Kind is the target cache: "result" (analysis and repair reports, the
+	// key prefix disambiguates) or "compile" (grammar source to re-compile).
+	Kind string `json:"kind"`
+	// Key is the cache key (result: fingerprint × options; compile: the
+	// canonical fingerprint alone).
+	Key string `json:"key"`
+	// Name labels compile records so re-compilation reports errors usefully.
+	Name string `json:"name,omitempty"`
+	// Value is the entry body: the marshaled response for results, the GDL
+	// source (as a JSON string) for compile records.
+	Value json.RawMessage `json:"value"`
+}
+
+// LoadStats tallies one recovery pass.
+type LoadStats struct {
+	// Loaded is the number of records recovered intact.
+	Loaded int
+	// Skipped counts records (or whole unreadable files) dropped for any
+	// reason: checksum mismatch, truncation, version skew, bad magic,
+	// undecodable payload, or an injected persist.read fault.
+	Skipped int
+	// Bytes is the on-disk footprint (snapshot + journal) at load time.
+	Bytes int64
+}
+
+// Store is one durable-state directory. All methods are safe for concurrent
+// use; Snapshot serializes against Append so the journal truncation can never
+// race a record write.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex // guards journal writes and the snapshot/truncate unit
+	journal *os.File
+	jw      *bufio.Writer
+}
+
+// Open creates (or reopens) the store rooted at dir. The directory is
+// created if missing. An existing journal with an unrecognized header is
+// rotated out of the way (its records are unreadable anyway) so appends land
+// in a clean file; Open fails only on real filesystem errors — never on
+// corrupt contents.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating state dir: %w", err)
+	}
+	s := &Store{dir: dir}
+	if err := s.openJournal(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// openJournal opens the journal for appending, writing the magic header into
+// a fresh (or headerless-corrupt) file.
+func (s *Store) openJournal() error {
+	path := filepath.Join(s.dir, journalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: opening journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: stat journal: %w", err)
+	}
+	hdr := make([]byte, len(magic))
+	if st.Size() >= int64(len(magic)) {
+		if _, err := io.ReadFull(f, hdr); err == nil && string(hdr) == magic {
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				f.Close()
+				return fmt.Errorf("persist: seeking journal: %w", err)
+			}
+			s.journal, s.jw = f, bufio.NewWriter(f)
+			return nil
+		}
+		// Foreign or future-format journal: preserve it aside for forensics
+		// and start clean. Its records are counted as skipped by Load.
+		f.Close()
+		_ = os.Rename(path, path+".unreadable")
+		f, err = os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("persist: recreating journal: %w", err)
+		}
+	}
+	if err := writeHeader(f); err != nil {
+		f.Close()
+		return err
+	}
+	s.journal, s.jw = f, bufio.NewWriter(f)
+	return nil
+}
+
+func writeHeader(w io.Writer) error {
+	if _, err := w.Write([]byte(magic)); err != nil {
+		return fmt.Errorf("persist: writing header: %w", err)
+	}
+	return nil
+}
+
+// Load replays the snapshot then the journal, in write order, skipping
+// anything unreadable. It never fails: the worst possible store is an empty
+// one. The ".unreadable" journal Open may have set aside counts as one
+// skipped unit.
+func (s *Store) Load() ([]Record, LoadStats) {
+	var recs []Record
+	var stats LoadStats
+	for _, name := range []string{snapName, journalName} {
+		path := filepath.Join(s.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // missing file = nothing persisted yet
+		}
+		stats.Bytes += int64(len(data))
+		recs = append(recs, scan(data, &stats)...)
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, journalName+".unreadable")); err == nil {
+		stats.Skipped++
+	}
+	return recs, stats
+}
+
+// scan decodes one file's records into out, tallying skips.
+func scan(data []byte, stats *LoadStats) []Record {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		if len(data) > 0 {
+			stats.Skipped++ // whole file: wrong or truncated magic
+		}
+		return nil
+	}
+	var recs []Record
+	r := bytes.NewReader(data[len(magic):])
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			if err != io.EOF {
+				stats.Skipped++ // torn length prefix at the tail
+			}
+			return recs
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxRecordBytes {
+			// A corrupt length prefix loses the framing for the rest of the
+			// file; count one skip and stop rather than chase garbage.
+			stats.Skipped++
+			return recs
+		}
+		buf := make([]byte, sha256.Size+int(n))
+		if _, err := io.ReadFull(r, buf); err != nil {
+			stats.Skipped++ // truncated mid-record (crash during append)
+			return recs
+		}
+		payload := buf[sha256.Size:]
+		if faults.Should(faults.PersistRead) {
+			stats.Skipped++ // injected bit-rot: replayable by seed
+			continue
+		}
+		if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], buf[:sha256.Size]) {
+			stats.Skipped++ // bit-rot: framing is intact, skip just this one
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.V != recordVersion || rec.Key == "" {
+			stats.Skipped++ // undecodable or version-skewed envelope
+			continue
+		}
+		stats.Loaded++
+		recs = append(recs, rec)
+	}
+}
+
+// ErrInjectedWrite reports an append degraded by an armed persist.write
+// fault: the record was persisted with a corrupted checksum (it will be
+// skipped at the next boot) and must be considered lost.
+var ErrInjectedWrite = errors.New("persist: injected write fault corrupted the record")
+
+// Append journals one record. The write is buffered then flushed to the OS
+// per record (no fsync — the snapshotter provides the durability barrier;
+// a torn tail from a crash mid-append is skipped by Load). An armed
+// persist.write fault corrupts the record's checksum on disk and returns
+// ErrInjectedWrite.
+func (s *Store) Append(rec Record) error {
+	rec.V = recordVersion
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("persist: encoding record: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	injected := faults.Should(faults.PersistWrite)
+	if err := writeRecord(s.jw, payload, injected); err != nil {
+		return err
+	}
+	if err := s.jw.Flush(); err != nil {
+		return fmt.Errorf("persist: flushing journal: %w", err)
+	}
+	if injected {
+		return ErrInjectedWrite
+	}
+	return nil
+}
+
+// writeRecord frames one payload; corrupt flips a checksum byte so the
+// record is present but unrecoverable (the injected-fault shape).
+func writeRecord(w io.Writer, payload []byte, corrupt bool) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("persist: record of %d bytes exceeds the %d cap", len(payload), maxRecordBytes)
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	sum := sha256.Sum256(payload)
+	if corrupt {
+		sum[0] ^= 0xff
+	}
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("persist: writing record: %w", err)
+	}
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("persist: writing record: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("persist: writing record: %w", err)
+	}
+	return nil
+}
+
+// Snapshot atomically replaces the snapshot file with the records dump
+// returns, then truncates the journal. dump runs under the store lock, so
+// the dump, the snapshot write, and the truncation are one atomic unit with
+// respect to Append — no insert can fall between the dump and the
+// truncation and be lost.
+//
+// Crash-consistency argument: the temp file is fully written and fsynced
+// before the rename; rename is atomic on POSIX, and the directory is fsynced
+// after it. A crash before the rename leaves the old snapshot + full journal
+// (complete). A crash after the rename but before the truncation leaves the
+// new snapshot + a journal whose records are all already in it (replay is
+// idempotent). An armed persist.write fault fails the snapshot up front,
+// leaving both files untouched.
+func (s *Store) Snapshot(dump func() []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := faults.ErrorAt(faults.PersistWrite); err != nil {
+		return err
+	}
+	recs := dump()
+	tmp, err := os.CreateTemp(s.dir, snapName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: creating snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriter(tmp)
+	werr := writeHeader(bw)
+	for _, rec := range recs {
+		if werr != nil {
+			break
+		}
+		rec.V = recordVersion
+		var payload []byte
+		if payload, werr = json.Marshal(&rec); werr == nil {
+			werr = writeRecord(bw, payload, false)
+		}
+	}
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr == nil {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("persist: writing snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapName)); err != nil {
+		return fmt.Errorf("persist: publishing snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	// The journal's records are now all in the snapshot; restart it.
+	if err := s.journal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: truncating journal: %w", err)
+	}
+	if _, err := s.journal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("persist: rewinding journal: %w", err)
+	}
+	s.jw.Reset(s.journal)
+	if err := writeHeader(s.journal); err != nil {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+// Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// SizeOnDisk reports the snapshot + journal footprint in bytes.
+func (s *Store) SizeOnDisk() int64 {
+	var total int64
+	for _, name := range []string{snapName, journalName} {
+		if st, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			total += st.Size()
+		}
+	}
+	return total
+}
+
+// Close flushes and closes the journal. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal == nil {
+		return nil
+	}
+	ferr := s.jw.Flush()
+	serr := s.journal.Sync()
+	cerr := s.journal.Close()
+	s.journal = nil
+	if ferr != nil {
+		return ferr
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -85,6 +85,19 @@ func (c *resultCache) counters() (hits, misses, evictions int64) {
 	return c.hits, c.misses, c.evictions
 }
 
+// dumpLRU returns the entries from least to most recently used — the replay
+// order: re-adding them into an empty cache reproduces both the contents and
+// the recency order (the persistence snapshot relies on this).
+func (c *resultCache) dumpLRU() []cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*cacheEntry))
+	}
+	return out
+}
+
 // keysMRU returns the keys from most to least recently used (tests).
 func (c *resultCache) keysMRU() []string {
 	c.mu.Lock()

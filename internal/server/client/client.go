@@ -1,20 +1,23 @@
 // Package client is the typed Go client for cexd's analysis service
 // (internal/server): JSON encoding, deadline plumbing, and retry with
-// exponential backoff on load-shedding responses (429) and drains (503),
-// honoring the server's Retry-After hint. cmd/cexload drives it in a closed
-// loop; embedders get the same behavior programmatically.
+// exponential backoff on load-shedding responses (429), drains (503), and
+// transient transport failures (connection refused/reset while the server
+// restarts), honoring the server's Retry-After hint. cmd/cexload drives it
+// in a closed loop; embedders get the same behavior programmatically.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"lrcex/internal/server"
@@ -160,10 +163,15 @@ func roundTrip[T any](c *Client, ctx context.Context, path string, req any, isPa
 			return resp, herr // partial report: both halves meaningful
 		}
 		last = herr
-		if !isHTTP || !he.Retryable() || attempt >= c.retries {
+		retryable := (isHTTP && he.Retryable()) || (!isHTTP && transientTransportError(herr))
+		if !retryable || attempt >= c.retries {
 			return nil, last
 		}
-		wait := c.backoffFor(attempt, he.RetryAfter)
+		var retryAfter time.Duration
+		if isHTTP {
+			retryAfter = he.RetryAfter
+		}
+		wait := c.backoffFor(attempt, retryAfter)
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -178,6 +186,25 @@ func asHTTPError(err error, out **HTTPError) bool {
 		*out = he
 	}
 	return ok
+}
+
+// transientTransportError reports whether a transport-level failure looks
+// like a server that is restarting rather than one that is wrong: connection
+// refused (the listener is down, perhaps between SIGKILL and the supervisor's
+// restart), connection reset / broken pipe / torn EOF (the process died with
+// our request in flight). These retry with the same jittered backoff as a
+// shed response — a kill/restart window is operationally a drain the server
+// never got to announce. Errors here pass through *url.Error, *net.OpError,
+// and *os.SyscallError wrapping, so errors.Is does the unwrapping.
+func transientTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // backoffFor computes the wait before retry #attempt: exponential from the

@@ -3,10 +3,15 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -336,5 +341,140 @@ func TestBackoffForBounds(t *testing.T) {
 	}
 	if d := c.backoffFor(0, 3*time.Second); d < 3*time.Second {
 		t.Fatalf("backoff %v ignored Retry-After of 3s", d)
+	}
+}
+
+// TestRetryOnConnRefusedThenSuccess: the server is down when the first
+// attempts land (connection refused — the window between a crash and the
+// supervisor's restart) and comes back before the retries run out. The
+// client must treat the refused connections like shed responses and keep
+// trying, not give up on the first transport error.
+func TestRetryOnConnRefusedThenSuccess(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port: connections now refuse
+
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){okResponse("g")}}
+	restarted := make(chan struct{})
+	var srv *http.Server
+	go func() {
+		// Restart after the first refused attempts have burned some retries.
+		time.Sleep(50 * time.Millisecond)
+		ln2, lerr := net.Listen("tcp", addr)
+		if lerr != nil {
+			t.Errorf("re-listen on %s: %v", addr, lerr)
+			close(restarted)
+			return
+		}
+		srv = &http.Server{Handler: fs.handler()}
+		go srv.Serve(ln2)
+		close(restarted)
+	}()
+
+	c := New("http://"+addr, WithRetries(20), WithBackoff(10*time.Millisecond))
+	resp, err := c.Analyze(context.Background(), &server.AnalyzeRequest{Name: "g", Grammar: figure1})
+	<-restarted
+	if srv != nil {
+		defer srv.Close()
+	}
+	if err != nil {
+		t.Fatalf("Analyze across restart: %v", err)
+	}
+	if resp.Name != "g" {
+		t.Fatalf("Name = %q, want g", resp.Name)
+	}
+}
+
+// TestReconnectAfterServerRestartMidRetryLoop kills the stub server while the
+// client is already inside its retry loop (parked by 429s), then restarts it
+// on the same address. The loop must ride through the transition: shed →
+// refused → serving, one Analyze call, zero errors.
+func TestReconnectAfterServerRestartMidRetryLoop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	var sheds atomic.Int64
+	shedTwice := make(chan struct{})
+	srv1 := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if sheds.Add(1) == 2 {
+			close(shedTwice)
+		}
+		jsonError(http.StatusTooManyRequests, "overloaded", "queue full", "")(w)
+	})}
+	go srv1.Serve(ln)
+
+	done := make(chan struct{})
+	var resp *server.AnalyzeResponse
+	var aerr error
+	c := New("http://"+addr, WithRetries(25), WithBackoff(10*time.Millisecond))
+	go func() {
+		defer close(done)
+		resp, aerr = c.Analyze(context.Background(), &server.AnalyzeRequest{Name: "g", Grammar: figure1})
+	}()
+
+	// Once the client is demonstrably mid-retry-loop, kill the server hard
+	// (listener and open connections both) and bring up a healthy replacement
+	// on the same address.
+	<-shedTwice
+	srv1.Close()
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ { // the freed port can lag a moment
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	fs := &fakeServer{t: t, responses: []func(http.ResponseWriter){okResponse("g")}}
+	srv2 := &http.Server{Handler: fs.handler()}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	<-done
+	if aerr != nil {
+		t.Fatalf("Analyze across kill/restart: %v", aerr)
+	}
+	if resp.Name != "g" {
+		t.Fatalf("Name = %q, want g", resp.Name)
+	}
+	if sheds.Load() < 2 {
+		t.Fatalf("first server saw %d requests, want >= 2 (client was mid-loop)", sheds.Load())
+	}
+}
+
+// TestTransientTransportErrorClassification pins which transport failures
+// count as "server restarting" (retry) vs everything else (fail fast).
+func TestTransientTransportErrorClassification(t *testing.T) {
+	wrap := func(err error) error {
+		return &url.Error{Op: "Post", URL: "http://x/v1/analyze", Err: &net.OpError{Op: "dial", Err: err}}
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"refused", wrap(syscall.ECONNREFUSED), true},
+		{"reset", wrap(syscall.ECONNRESET), true},
+		{"epipe", wrap(syscall.EPIPE), true},
+		{"eof", &url.Error{Op: "Post", URL: "http://x", Err: io.EOF}, true},
+		{"unexpected-eof", &url.Error{Op: "Post", URL: "http://x", Err: io.ErrUnexpectedEOF}, true},
+		{"dns", wrap(errors.New("no such host")), false},
+		{"canceled", context.Canceled, false},
+		{"plain", errors.New("kaboom"), false},
+	}
+	for _, tc := range cases {
+		if got := transientTransportError(tc.err); got != tc.want {
+			t.Errorf("%s: transientTransportError = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

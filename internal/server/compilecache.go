@@ -15,6 +15,12 @@ import (
 type compiledGrammar struct {
 	g *grammar.Grammar
 	c *core.Compiled
+	// name and src are the grammar's label and the exact GDL source it was
+	// compiled from — what the persistence layer journals so a restarted
+	// daemon can rebuild the artifact and land on the identical automaton
+	// (re-parsing the same bytes replays the same symbol interning).
+	name string
+	src  string
 }
 
 // compileCache is a mutex-guarded LRU over compiled grammars, keyed by the
@@ -84,6 +90,29 @@ func (c *compileCache) add(fp string, val *compiledGrammar) {
 		delete(c.entries, oldest.Value.(*compileEntry).key)
 		c.evictions++
 	}
+}
+
+// dumpLRU returns the entries from least to most recently used (the
+// persistence snapshot's replay order; see resultCache.dumpLRU).
+func (c *compileCache) dumpLRU() []compileEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]compileEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*compileEntry))
+	}
+	return out
+}
+
+// keysMRU returns the fingerprints from most to least recently used (tests).
+func (c *compileCache) keysMRU() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*compileEntry).key)
+	}
+	return out
 }
 
 // len returns the current entry count.

@@ -99,6 +99,16 @@ type cacheScrape struct {
 	hits, misses, evictions int64
 }
 
+// persistScrape is the durable-state layer's point-in-time scrape values.
+// The zero value means persistence is disabled (no -state-dir): the gauges
+// still render, all zero, so dashboards need no conditional.
+type persistScrape struct {
+	enabled                                  bool
+	loaded, skipped, snapshots               int64
+	snapFailures, writeFailures, bytesOnDisk int64
+	lastOK                                   bool
+}
+
 func newMetrics() *metrics {
 	m := &metrics{start: time.Now(), requests: make(map[string]*outcomeMetrics, len(outcomes))}
 	for _, o := range outcomes {
@@ -157,7 +167,7 @@ func (m *metrics) addPhaseTimings(t Timings) {
 
 // write renders the scrape. queueDepth and the cache scrapes are sampled
 // gauges and counters the server passes in.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile cacheScrape, healthState int64) {
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile cacheScrape, per persistScrape, healthState int64) {
 	fmt.Fprintf(w, "# HELP cexd_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE cexd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "cexd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
@@ -220,6 +230,22 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 	gauge("cexd_health_state", "Health tri-state: 0 ok, 1 degraded, 2 draining.", healthState)
 
 	counter("cexd_analyses_total", "Analyses executed (cache hits and collapsed requests excluded).", m.analyses.Load())
+
+	persistEnabled, persistLastOK := int64(0), int64(0)
+	if per.enabled {
+		persistEnabled = 1
+	}
+	if per.lastOK {
+		persistLastOK = 1
+	}
+	gauge("cexd_persist_enabled", "1 when a -state-dir is configured and the store opened.", persistEnabled)
+	counter("cexd_persist_records_loaded", "Persisted cache records recovered at boot.", per.loaded)
+	counter("cexd_persist_records_skipped_corrupt", "Persisted records skipped at boot (corruption, truncation, version skew).", per.skipped)
+	counter("cexd_persist_snapshots_total", "Successful state snapshots (interval and drain).", per.snapshots)
+	counter("cexd_persist_snapshot_failures_total", "Failed state snapshots (previous snapshot left intact).", per.snapFailures)
+	counter("cexd_persist_write_failures_total", "Failed journal appends (entry cold until the next snapshot).", per.writeFailures)
+	gauge("cexd_persist_bytes_on_disk", "Bytes held by the snapshot and journal.", per.bytesOnDisk)
+	gauge("cexd_persist_last_snapshot_ok", "1 when the most recent snapshot succeeded (or none attempted).", persistLastOK)
 
 	counter("cexd_repair_runs_total", "Repair-advisor runs executed (cache hits and collapsed requests excluded).", m.repairs.Load())
 	counter("cexd_repair_candidates_total", "Repair candidates synthesized.", m.repairCandidates.Load())

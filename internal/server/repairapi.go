@@ -169,7 +169,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 
-	res, err, shared := s.execute(key, g, name, fp, compiled, req.Options, &req.Repair, deadline, parseMS)
+	res, err, shared := s.execute(key, g, name, fp, req.Grammar, compiled, req.Options, &req.Repair, deadline, parseMS)
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.m.shed.Add(1)
@@ -192,7 +192,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	switch res.status {
 	case http.StatusOK:
 		rr := &RepairResponse{AnalyzeResponse: *res.resp, Repair: res.repair}
-		s.cache.add(key, rr)
+		s.addResult(key, rr)
 		s.respondRepair(w, start, http.StatusOK, rr, outcomeOK)
 	case http.StatusGatewayTimeout:
 		// Partial reports are never cached: a longer-deadline retry must

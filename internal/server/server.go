@@ -65,6 +65,16 @@ type Config struct {
 	// Logger receives operational events: recovered panics, watchdog
 	// stalls. nil discards.
 	Logger *log.Logger
+	// StateDir, when non-empty, enables crash-safe durable state: the result,
+	// repair, and compiled-grammar caches are journaled to this directory and
+	// reloaded on the next boot (internal/persist). A corrupt or truncated
+	// store never prevents startup — unreadable records are skipped, counted
+	// on /metrics, and surfaced as a /healthz degradation reason.
+	StateDir string
+	// SnapshotInterval is how often the background snapshotter compacts the
+	// journal into an atomically-replaced snapshot (default 30s). A final
+	// snapshot is always taken on graceful drain.
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +114,9 @@ func (c Config) withDefaults() Config {
 	if c.WatchdogGrace <= 0 {
 		c.WatchdogGrace = 30 * time.Second
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
 	return c
 }
 
@@ -126,10 +139,15 @@ type Server struct {
 	m       *metrics
 	health  *healthTracker
 
+	// per is the durable-state bridge (nil when Config.StateDir is empty —
+	// persistence disabled, everything else unchanged).
+	per *persister
+
 	jobs     chan *job
 	quit     chan struct{}
 	draining atomic.Bool
 	workers  sync.WaitGroup
+	bg       sync.WaitGroup // background snapshotter
 
 	// testGate, when set, is invoked by a worker right before it runs a
 	// job's analysis — tests use it to hold workers mid-flight.
@@ -189,6 +207,23 @@ func New(cfg Config) *Server {
 		health:  newHealthTracker(),
 		jobs:    make(chan *job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		per, err := newPersister(cfg.StateDir, cfg.Limits)
+		if err != nil {
+			// Persistence must never take the service down: run cold, but say
+			// so loudly (the failure is also visible as a permanent /healthz
+			// degradation via the snapshot-failure reason once snapshots run,
+			// and here at boot in the log).
+			s.logf("persist: disabled, cannot open state dir %q: %v", cfg.StateDir, err)
+		} else {
+			s.per = per
+			per.load(s)
+			s.logf("persist: recovered %d record(s) from %q (%d skipped)",
+				per.loaded.Load(), cfg.StateDir, per.skipped.Load())
+			s.bg.Add(1)
+			go per.snapshotLoop(s, cfg.SnapshotInterval, s.quit, &s.bg)
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
@@ -334,9 +369,29 @@ func (s *Server) repairCompile(name, src string) (*grammar.Grammar, *core.Compil
 	}
 	c := core.Compile(lr.BuildTable(lr.Build(g)))
 	if fperr == nil {
-		s.compile.add(fp, &compiledGrammar{g: g, c: c})
+		s.addCompiled(fp, &compiledGrammar{g: g, c: c, name: name, src: src})
 	}
 	return g, c, nil
+}
+
+// addCompiled inserts into the compile cache and journals the insert (as
+// fingerprint → source) when persistence is enabled. Every insert site goes
+// through here so a restarted daemon can rebuild the artifact.
+func (s *Server) addCompiled(fp string, ce *compiledGrammar) {
+	s.compile.add(fp, ce)
+	if s.per != nil {
+		s.per.noteCompile(fp, ce)
+	}
+}
+
+// addResult inserts a complete report into the result cache and journals it.
+// Partial reports never reach here (they are never cached), so the store
+// only ever holds reports a future request may be answered with verbatim.
+func (s *Server) addResult(key string, val any) {
+	s.cache.add(key, val)
+	if s.per != nil {
+		s.per.noteResult(key, val)
+	}
 }
 
 func coreStats(s StatsJSON) core.SearchStats {
@@ -372,6 +427,12 @@ func (s *Server) submit(j *job) error {
 // Shutdown drains the service: new submissions are refused with 503,
 // queued and in-flight analyses complete (bounded by their own deadlines),
 // and the worker pool exits. Returns ctx.Err() if the drain outlives ctx.
+//
+// The drain ends with a final durable-state flush (when persistence is on):
+// the snapshot is taken only after every in-flight analysis has published —
+// including 504-partial ones, whose compiled grammars and late metrics land
+// mid-drain — so the store on disk and the last /metrics scrape agree about
+// everything this process ever computed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil // already shutting down
@@ -392,11 +453,28 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				j.res = &jobResult{status: http.StatusServiceUnavailable, err: errDraining}
 				close(j.done)
 			default:
+				s.flushState()
 				return nil
 			}
 		}
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// flushState takes the graceful-drain snapshot and closes the store. The
+// background snapshotter has already observed quit; waiting on it first
+// guarantees the final snapshot is the last write.
+func (s *Server) flushState() {
+	if s.per == nil {
+		return
+	}
+	s.bg.Wait()
+	if err := s.per.snapshot(s); err != nil {
+		s.logf("persist: final drain snapshot failed: %v", err)
+	}
+	if err := s.per.store.Close(); err != nil {
+		s.logf("persist: closing store: %v", err)
 	}
 }
 
@@ -428,11 +506,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	if reasons := s.health.degradedReasons(); len(reasons) > 0 {
+	if reasons := s.degradedReasons(); len(reasons) > 0 {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "reasons": reasons})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// degradedReasons merges the sliding-window health reasons (panics, stalls,
+// shed rate) with the persistence layer's standing ones (corrupt records
+// skipped at boot, a failed last snapshot).
+func (s *Server) degradedReasons() []string {
+	reasons := s.health.degradedReasons()
+	if s.per != nil {
+		reasons = append(reasons, s.per.reasons()...)
+	}
+	return reasons
 }
 
 // healthState renders the health tri-state as a metric gauge value.
@@ -440,7 +529,7 @@ func (s *Server) healthState() int64 {
 	switch {
 	case s.draining.Load():
 		return 2
-	case len(s.health.degradedReasons()) > 0:
+	case len(s.degradedReasons()) > 0:
 		return 1
 	default:
 		return 0
@@ -453,8 +542,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	result.hits, result.misses, result.evictions = s.cache.counters()
 	compile.len, compile.cap = s.compile.len(), s.cfg.CompileEntries
 	compile.hits, compile.misses, compile.evictions = s.compile.counters()
+	var per persistScrape
+	if s.per != nil {
+		per = s.per.scrape()
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.write(w, len(s.jobs), cap(s.jobs), result, compile, s.healthState())
+	s.m.write(w, len(s.jobs), cap(s.jobs), result, compile, per, s.healthState())
 }
 
 // execute runs one admitted analysis (or analysis + repair, when rep is
@@ -463,7 +556,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // submissions ride one execution; the flight runs on a context detached from
 // any single client so a leader disconnect cannot poison followers; the
 // deadline still bounds it, and queue wait spends from the same budget.
-func (s *Server) execute(key string, g *grammar.Grammar, name, fp string, compiled *core.Compiled, opts AnalyzeOptions, rep *RepairOptions, deadline time.Duration, parseMS float64) (*jobResult, error, bool) {
+func (s *Server) execute(key string, g *grammar.Grammar, name, fp, src string, compiled *core.Compiled, opts AnalyzeOptions, rep *RepairOptions, deadline time.Duration, parseMS float64) (*jobResult, error, bool) {
 	return s.sf.do(key, func() (*jobResult, error) {
 		// Injected downstream failure inside the singleflight leader: the
 		// whole flight errors (leader and followers all see the 500).
@@ -481,7 +574,7 @@ func (s *Server) execute(key string, g *grammar.Grammar, name, fp string, compil
 			// the build — before the searches — so even a deadline-expired
 			// analysis leaves the tables behind for the retry.
 			j.onCompiled = func(c *core.Compiled) {
-				s.compile.add(fp, &compiledGrammar{g: g, c: c})
+				s.addCompiled(fp, &compiledGrammar{g: g, c: c, name: name, src: src})
 			}
 		}
 		if err := s.submit(j); err != nil {
@@ -604,7 +697,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 
-	res, err, shared := s.execute(key, g, name, fp, compiled, req.Options, nil, deadline, parseMS)
+	res, err, shared := s.execute(key, g, name, fp, req.Grammar, compiled, req.Options, nil, deadline, parseMS)
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.m.shed.Add(1)
@@ -626,7 +719,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	switch res.status {
 	case http.StatusOK:
-		s.cache.add(key, res.resp)
+		s.addResult(key, res.resp)
 		s.respond(w, start, http.StatusOK, res.resp, outcomeOK)
 	case http.StatusGatewayTimeout:
 		// Partial reports are never cached: a longer-deadline retry must

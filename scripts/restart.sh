@@ -1,0 +1,29 @@
+#!/bin/sh
+# restart.sh — run the cexrestart kill/restart chaos campaign (a real cexd
+# child over a durable state directory, SIGKILLed mid-load once per corpus
+# pass and restarted, with persist-layer write/read faults corrupting some
+# journal records on purpose) and emit BENCH_restart.json: kill cycles,
+# malformed-response / boot-failure / report-mismatch counts (all must be
+# zero), the warm-restart hit-rate, and the final boot's recovery counters.
+# EXPERIMENTS.md quotes the numbers. A nonzero exit means an invariant broke
+# — the report is still written for the post-mortem.
+#
+# Usage: scripts/restart.sh [kills] [seed] [rate] [out]
+#
+#   kills   SIGKILL/restart cycles (default 5; acceptance floor is 5)
+#   seed    fault-schedule seed (default 42; same seed = same schedule)
+#   rate    persist.write/persist.read firing probability (default 0.05)
+#   out     output file (default BENCH_restart.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+KILLS="${1:-5}"
+SEED="${2:-42}"
+RATE="${3:-0.05}"
+OUT="${4:-BENCH_restart.json}"
+
+go run ./cmd/cexrestart \
+	-kills "$KILLS" -seed "$SEED" -fault-rate "$RATE" \
+	-out "$OUT"
+
+echo "wrote $OUT" >&2

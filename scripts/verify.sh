@@ -15,6 +15,10 @@
 #   tier 7: cexfix smoke — the repair advisor over 5 small grammars;
 #           fails on a language-breaking suggestion surviving validation
 #           or a j=1 vs j=8 ranking divergence
+#   tier 8: cexrestart smoke — a real cexd child over a durable state
+#           dir, SIGKILLed mid-load and restarted; fails on a malformed
+#           response, an unhealthy boot, a report that differs from the
+#           never-killed control, or a cold warm-restart
 #
 # Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
 set -eu
@@ -31,12 +35,13 @@ go vet ./...
 # -short trims the whole-grammar Java.2 corner points (tier 1 runs them
 # race-free); the intra-worker determinism matrices — the schedules the race
 # detector exists to check — run in full.
-go test -race -short ./internal/core/... ./internal/eval/... ./internal/repair/... ./internal/server/...
+go test -race -short ./internal/core/... ./internal/eval/... ./internal/repair/... ./internal/server/... ./internal/persist/...
 
 echo "== tier 3: fuzz smoke (${FUZZTIME}) =="
 go test -run='^$' -fuzz=FuzzFindAll -fuzztime="$FUZZTIME" ./internal/core/
 go test -run='^$' -fuzz=FuzzRecoverLadder -fuzztime=5s ./internal/core/
 go test -run='^$' -fuzz=FuzzParseLimited -fuzztime=5s ./internal/gdl/
+go test -run='^$' -fuzz=FuzzPersistLoad -fuzztime=5s ./internal/persist/
 
 echo "== tier 4: cexload smoke (selfserve, one corpus pass) =="
 go run ./cmd/cexload -selfserve -smoke -levels 4 -maxconfigs 5000 -deadline-ms 5000 -out /dev/null
@@ -49,5 +54,8 @@ go run ./cmd/cexdiff -smoke -out /dev/null
 
 echo "== tier 7: repair advisor smoke =="
 go run ./cmd/cexfix -smoke -q -out /dev/null
+
+echo "== tier 8: kill/restart durable-state smoke =="
+go run ./cmd/cexrestart -smoke -out /dev/null
 
 echo "verify: OK"
