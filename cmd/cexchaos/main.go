@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -118,7 +119,7 @@ func main() {
 	// the run quickly instead of hanging it.
 	s := server.New(server.Config{
 		WatchdogGrace: 10 * time.Second,
-		Logger:        log.New(os.Stderr, "cexd: ", log.LstdFlags),
+		Logger:        slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "cexd"),
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

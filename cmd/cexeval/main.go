@@ -78,6 +78,16 @@ func main() {
 	}
 	defer stopProf()
 
+	// -trace-out: one trace for the whole evaluation run; each measured
+	// grammar becomes a span subtree (see eval.MeasureContext).
+	label := "cexeval"
+	if *grammarName != "" {
+		label = *grammarName
+	} else if *category != "" {
+		label = *category
+	}
+	ctx, finishTrace := search.StartTrace(context.Background(), label)
+
 	opts := eval.Options{
 		Finder:       search.FinderOptions(),
 		Baseline:     *withBaseline,
@@ -88,7 +98,7 @@ func main() {
 	case *speedup:
 		runSpeedup(*category, opts)
 	case *grammarName != "":
-		runOne(*grammarName, opts)
+		runOne(ctx, *grammarName, opts)
 	case *fig5:
 		runFig5()
 	case *fig9:
@@ -96,16 +106,21 @@ func main() {
 	case *fig11:
 		runFig11(opts)
 	case *effectiveness:
-		runEffectiveness(opts)
+		runEffectiveness(ctx, opts)
 	case *efficiency:
-		runEfficiency(opts)
+		runEfficiency(ctx, opts)
 	case *scalability:
-		runScalability(opts)
+		runScalability(ctx, opts)
 	case *table1 || *category != "":
-		runTable1(*category, opts)
+		runTable1(ctx, *category, opts)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if err := finishTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "cexeval: trace:", err)
+		os.Exit(1)
 	}
 }
 
@@ -126,8 +141,8 @@ func entriesFor(category string) []*corpus.Entry {
 	}
 }
 
-func runTable1(category string, opts eval.Options) {
-	rows := eval.Table1(entriesFor(category), opts)
+func runTable1(ctx context.Context, category string, opts eval.Options) {
+	rows := eval.Table1Context(ctx, entriesFor(category), opts)
 	fmt.Print(eval.FormatRows(rows, opts.Baseline))
 	if showStats {
 		printStats(rows)
@@ -174,13 +189,13 @@ func runSpeedup(category string, opts eval.Options) {
 	fmt.Print(eval.FormatSpeedup(rows))
 }
 
-func runOne(name string, opts eval.Options) {
+func runOne(ctx context.Context, name string, opts eval.Options) {
 	e, ok := corpus.Get(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "cexeval: unknown grammar %q\n", name)
 		os.Exit(2)
 	}
-	row := eval.Measure(e, opts)
+	row := eval.MeasureContext(ctx, e, opts)
 	fmt.Print(eval.FormatRows([]eval.Row{row}, opts.Baseline))
 	if row.Err != nil {
 		os.Exit(1)
@@ -283,8 +298,8 @@ func runFig11(opts eval.Options) {
 // runEffectiveness prints the Section 7.2 numbers: the fraction of conflicts
 // answered within the time limit, and the grammars on which the prior-PPG
 // construction is misleading.
-func runEffectiveness(opts eval.Options) {
-	rows := eval.Table1(corpus.All(), opts)
+func runEffectiveness(ctx context.Context, opts eval.Options) {
+	rows := eval.Table1Context(ctx, corpus.All(), opts)
 	total, answered, skipped := 0, 0, 0
 	for _, r := range rows {
 		if r.Err != nil {
@@ -325,9 +340,9 @@ func runEffectiveness(opts eval.Options) {
 
 // runEfficiency prints the Section 7.3 comparison: our average time per
 // conflict vs the bounded exhaustive detector's time to find one ambiguity.
-func runEfficiency(opts eval.Options) {
+func runEfficiency(ctx context.Context, opts eval.Options) {
 	opts.Baseline = true
-	rows := eval.Table1(entriesFor("bv10"), opts)
+	rows := eval.Table1Context(ctx, entriesFor("bv10"), opts)
 	fmt.Print(eval.FormatRows(rows, true))
 	var ratios []float64
 	for _, r := range rows {
@@ -348,8 +363,8 @@ func runEfficiency(opts eval.Options) {
 
 // runScalability prints per-conflict time against grammar size (Section 7.4:
 // running time grows only marginally on larger grammars).
-func runScalability(opts eval.Options) {
-	rows := eval.Table1(corpus.All(), opts)
+func runScalability(ctx context.Context, opts eval.Options) {
+	rows := eval.Table1Context(ctx, corpus.All(), opts)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].States < rows[j].States })
 	fmt.Printf("%-12s %8s %12s\n", "Grammar", "#states", "avg/conflict")
 	for _, r := range rows {

@@ -25,6 +25,7 @@ import (
 	"lrcex/internal/faults"
 	"lrcex/internal/profiling"
 	"lrcex/internal/repair"
+	"lrcex/internal/trace"
 )
 
 func main() {
@@ -58,15 +59,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -trace-out: one trace for the whole run, spans for each phase. With the
+	// flag unset StartTrace returns the context untouched and every span call
+	// below is a single atomic load.
+	ctx, finishTrace := search.StartTrace(context.Background(), name)
+
 	parseStart := time.Now()
+	psp := trace.Child(ctx, "gdl.parse")
 	g, err := lrcex.ParseGrammar(name, src)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cexgen:", err)
 		os.Exit(1)
 	}
+	psp.Set("productions", g.NumProductions())
+	psp.End()
 	parseWall := time.Since(parseStart)
 	buildStart := time.Now()
+	bsp := trace.Child(ctx, "table.build")
 	res := lrcex.AnalyzeWithOptions(g, search.FinderOptions())
+	bsp.Set("states", len(res.Automaton.States))
+	bsp.End()
 	buildWall := time.Since(buildStart)
 
 	// Counterexamples assume a reduced grammar: warn like yacc/CUP when
@@ -91,13 +103,19 @@ func main() {
 
 	if len(res.Conflicts()) == 0 {
 		fmt.Println("No conflicts: the grammar is LALR(1).")
+		if err := finishTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "cexgen: trace: %v\n", err)
+		}
 		return
 	}
 	// FindAll searches the conflicts on a worker pool (-j) and returns the
 	// results in conflict order, so the report order matches the sequential
 	// tool exactly.
 	searchStart := time.Now()
-	exs, err := res.FindAll()
+	sctx, ssp := trace.Start(ctx, "search")
+	ssp.Set("conflicts", len(res.Conflicts()))
+	exs, err := res.FindAllContext(sctx)
+	ssp.End()
 	searchWall := time.Since(searchStart)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cexgen: %v\n", err)
@@ -121,7 +139,7 @@ func main() {
 	// -repair: run the conflict-repair advisor over the analysis just
 	// printed, reusing the compiled tables and the counterexamples as probes.
 	if search.Repair {
-		rep, err := repair.Advise(context.Background(), repair.Input{
+		rep, err := repair.Advise(ctx, repair.Input{
 			Name:     name,
 			Grammar:  g,
 			Compiled: core.Compile(res.Table),
@@ -133,6 +151,11 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(rep.Render())
+	}
+
+	if err := finishTrace(); err != nil {
+		fmt.Fprintf(os.Stderr, "cexgen: trace: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -415,7 +416,7 @@ func runChild(addr, stateDir string, snapInterval time.Duration, faultSpec strin
 	s := server.New(server.Config{
 		StateDir:         stateDir,
 		SnapshotInterval: snapInterval,
-		Logger:           logger,
+		Logger:           slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "cexd-child"),
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

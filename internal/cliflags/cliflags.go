@@ -8,11 +8,16 @@
 package cliflags
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
+	"os"
+	"strings"
 	"time"
 
 	"lrcex/internal/core"
 	"lrcex/internal/repair"
+	"lrcex/internal/trace"
 )
 
 // Search holds the parsed values of the shared search flags. Fields mirror
@@ -60,6 +65,11 @@ type Search struct {
 	// MaxCandidates caps the repair candidates synthesized per conflict
 	// (-max-candidates; 0 = the advisor default).
 	MaxCandidates int
+	// TraceOut writes a span trace of the run to this file (-trace-out).
+	// ".json" gets the structured span tree; anything else gets a Chrome
+	// trace-event file for chrome://tracing. Empty = tracing disabled (the
+	// instrumentation then costs one atomic load per site).
+	TraceOut string
 }
 
 // RegisterSearch registers the shared search flags on fs and returns the
@@ -80,6 +90,7 @@ func RegisterSearch(fs *flag.FlagSet) *Search {
 	fs.BoolVar(&s.Repair, "repair", false, "run the conflict-repair advisor after the counterexample reports")
 	fs.IntVar(&s.RepairBudget, "repair-budget", 0, "configurations expanded when validating each repair candidate (0 = advisor default)")
 	fs.IntVar(&s.MaxCandidates, "max-candidates", 0, "repair candidates synthesized per conflict (0 = advisor default)")
+	fs.StringVar(&s.TraceOut, "trace-out", "", "write a span trace of the run to this file (.json = span tree, otherwise Chrome trace-event format)")
 	return s
 }
 
@@ -102,6 +113,38 @@ func (s *Search) FinderOptions() core.Options {
 		o.CumulativeTimeout = core.NoTimeout
 	}
 	return o
+}
+
+// StartTrace arms tracing for one CLI run when -trace-out was given: it
+// returns a context carrying the root span (pass it to the analysis calls)
+// and a finish func that ends the trace and writes the file. With no
+// -trace-out the context comes back untouched and finish is a no-op, so
+// callers can wire this unconditionally. The trace ID is the run label
+// (grammar or corpus name), making CLI traces self-describing.
+func (s *Search) StartTrace(ctx context.Context, label string) (context.Context, func() error) {
+	if s.TraceOut == "" {
+		return ctx, func() error { return nil }
+	}
+	tracer := trace.NewTracer(1)
+	ctx, root := trace.New(ctx, tracer, label, "run")
+	return ctx, func() error {
+		root.End()
+		traces := tracer.Traces()
+		var data []byte
+		if strings.HasSuffix(s.TraceOut, ".json") {
+			out := make([]trace.TraceJSON, 0, len(traces))
+			for _, t := range traces {
+				out = append(out, t.JSON())
+			}
+			var err error
+			if data, err = json.MarshalIndent(out, "", " "); err != nil {
+				return err
+			}
+		} else {
+			data = trace.Chrome(traces)
+		}
+		return os.WriteFile(s.TraceOut, data, 0o644)
+	}
 }
 
 // RepairOptions maps the repair flags onto the advisor's options. The

@@ -32,7 +32,7 @@ func TestParityAcrossRegistrations(t *testing.T) {
 	if !reflect.DeepEqual(sa, sb) {
 		t.Fatalf("flag surfaces differ:\n%v\n%v", sa, sb)
 	}
-	want := []string{"timeout", "cumulative", "notimeout", "j", "intra", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults", "repair", "repair-budget", "max-candidates"}
+	want := []string{"timeout", "cumulative", "notimeout", "j", "intra", "extendedsearch", "maxconfigs", "maxarena", "fifofrontier", "stats", "faults", "repair", "repair-budget", "max-candidates", "trace-out"}
 	for _, name := range want {
 		if _, ok := sa[name]; !ok {
 			t.Errorf("flag -%s not registered", name)
@@ -199,7 +199,7 @@ func TestDefaultsMatchPaper(t *testing.T) {
 	}
 	if s.NoTimeout || s.ExtendedSearch || s.FIFOFrontier || s.Stats || s.MaxConfigs != 0 || s.Parallelism != 0 ||
 		s.IntraWorkers != 0 || s.MaxArenaBytes != 0 || s.Faults != "" ||
-		s.Repair || s.RepairBudget != 0 || s.MaxCandidates != 0 {
+		s.Repair || s.RepairBudget != 0 || s.MaxCandidates != 0 || s.TraceOut != "" {
 		t.Fatalf("non-zero default in %+v", s)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"lrcex/internal/faults"
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
+	"lrcex/internal/trace"
 )
 
 // NoTimeout disables a time limit when assigned to PerConflictTimeout or
@@ -262,6 +264,15 @@ func (b *timeBank) charge(d time.Duration) {
 	}
 }
 
+// remainingNanos reports the bank's balance for trace attribution
+// (math.MaxInt64 when unlimited).
+func (b *timeBank) remainingNanos() int64 {
+	if b.unlimited {
+		return math.MaxInt64
+	}
+	return b.remaining.Load()
+}
+
 // scratch holds the per-worker reusable buffers of the search. All mutable
 // per-conflict state lives either here or in values allocated inside one
 // find call; everything reachable from Finder.g is immutable once NewFinder
@@ -416,8 +427,8 @@ func (f *Finder) FindAllContext(ctx context.Context) ([]*Example, error) {
 		// group (if any) borrows helpers freely (nil pool = unbounded).
 		out := make([]*Example, 0, len(conflicts))
 		sc := &scratch{}
-		for _, c := range conflicts {
-			ex, err := f.find(ctx, c, sc, nil)
+		for i, c := range conflicts {
+			ex, err := f.findTraced(ctx, c, i, sc, nil)
 			if err != nil {
 				return out, conflictErr(f.tbl, c, err)
 			}
@@ -454,7 +465,7 @@ func (f *Finder) FindAllContext(ctx context.Context) ([]*Example, error) {
 					return
 				}
 				i := order[k]
-				ex, err := f.find(poolCtx, conflicts[i], sc, pool)
+				ex, err := f.findTraced(poolCtx, conflicts[i], i, sc, pool)
 				if err != nil {
 					errs[i] = err
 					cancel() // stop the remaining workers cooperatively
@@ -543,7 +554,56 @@ func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, erro
 		sc = &scratch{}
 	}
 	defer f.scPool.Put(sc)
-	return f.find(ctx, c, sc, nil)
+	return f.findTraced(ctx, c, f.conflictIndex(c), sc, nil)
+}
+
+// conflictIndex locates c in the table's conflict list so single-conflict
+// calls stamp the same span sequence number FindAll would; unknown conflicts
+// key off their state instead.
+func (f *Finder) conflictIndex(c lr.Conflict) int {
+	for i, tc := range f.tbl.Conflicts {
+		if tc.State == c.State && tc.Sym == c.Sym && tc.Item1 == c.Item1 && tc.Item2 == c.Item2 {
+			return i
+		}
+	}
+	return c.State
+}
+
+// findTraced wraps find in a "conflict.search" span. The sequence number is
+// the conflict's position in the table — a pure function of the grammar — so
+// the span tree is identical at every Parallelism/IntraWorkers setting.
+// Conflict coordinates and outcome are deterministic attributes; wall-clock,
+// search counters, and the time-bank draw are volatile (expansion counts
+// legitimately differ between sequential and level-synchronous modes).
+func (f *Finder) findTraced(ctx context.Context, c lr.Conflict, seq int, sc *scratch, pool *tokenPool) (*Example, error) {
+	ctx, span := trace.StartSeq(ctx, "conflict.search", seq)
+	if span == nil {
+		return f.find(ctx, c, sc, pool)
+	}
+	span.Set("state", c.State)
+	span.Set("symbol", f.tbl.A.G.Name(c.Sym))
+	span.Set("conflict", c.Kind.String())
+	before := f.bank.remainingNanos()
+	ex, err := f.find(ctx, c, sc, pool)
+	if ex != nil {
+		span.Set("outcome", ex.Kind.String())
+		if ex.Merged {
+			span.Set("merged", true)
+		}
+		span.SetVolatile("elapsed_ms", float64(ex.Elapsed)/float64(time.Millisecond))
+		span.SetVolatile("expanded", ex.Stats.Expanded)
+		span.SetVolatile("pushed", ex.Stats.Pushed)
+		span.SetVolatile("dedup_hits", ex.Stats.DedupHits)
+		span.SetVolatile("peak_frontier", ex.Stats.PeakFrontier)
+		span.SetVolatile("alloc_bytes", ex.Stats.AllocBytes)
+		span.SetVolatile("path_expanded", ex.Stats.PathExpanded)
+		span.SetVolatile("bank_draw_ms", float64(before-f.bank.remainingNanos())/float64(time.Millisecond))
+	}
+	if err != nil {
+		span.Set("error", err.Error())
+	}
+	span.End()
+	return ex, err
 }
 
 // find constructs a counterexample for one conflict, running the search
@@ -567,7 +627,17 @@ func (f *Finder) find(ctx context.Context, c lr.Conflict, sc *scratch, pool *tok
 	f.recovered.Add(1)
 	*sc = scratch{}
 
-	ex, err = f.findDegraded(ctx, c, sc, sp)
+	rctx, span := trace.Start(ctx, "conflict.recover")
+	if span != nil {
+		span.Set("panic", fmt.Sprint(sp.Value))
+		defer func() {
+			if err != nil {
+				span.Set("error", err.Error())
+			}
+			span.End()
+		}()
+	}
+	ex, err = f.findDegraded(rctx, c, sc, sp)
 	if err != nil {
 		return nil, err
 	}

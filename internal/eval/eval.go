@@ -4,6 +4,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
+	"lrcex/internal/trace"
 )
 
 // Row is one Table 1 row as measured by this implementation.
@@ -88,17 +90,38 @@ func Build(e *corpus.Entry) (*grammar.Grammar, *lr.Table, error) {
 
 // Measure runs the counterexample finder on one corpus grammar.
 func Measure(e *corpus.Entry, opts Options) Row {
+	return MeasureContext(context.Background(), e, opts)
+}
+
+// MeasureContext is Measure with a caller context: cancellation propagates
+// into the search, and when ctx carries a trace span (cexeval -trace-out,
+// cextrace) the run records a grammar span with gdl.parse / table.build /
+// search children so the long-pole profiler can attribute conflict time to
+// grammars.
+func MeasureContext(ctx context.Context, e *corpus.Entry, opts Options) Row {
+	ctx, gsp := trace.Start(ctx, "grammar")
+	gsp.Set("name", e.Name)
+	defer gsp.End()
+
 	row := Row{Name: e.Name, Category: e.Category, ExpectedAmbiguous: e.Ambiguous}
 	parseStart := time.Now()
+	psp := trace.Child(ctx, "gdl.parse")
 	g, err := gdl.Parse(e.Name, e.Source)
 	if err != nil {
+		psp.Set("error", err.Error())
+		psp.End()
 		row.Err = fmt.Errorf("parsing %s: %w", e.Name, err)
 		return row
 	}
+	psp.Set("productions", g.NumProductions())
+	psp.End()
 	row.ParseWall = time.Since(parseStart)
 	buildStart := time.Now()
+	bsp := trace.Child(ctx, "table.build")
 	tbl := lr.BuildTable(lr.Build(g))
 	compiled := core.Compile(tbl)
+	bsp.Set("states", len(tbl.A.States))
+	bsp.End()
 	row.BuildWall = time.Since(buildStart)
 	row.Nonterms = len(g.Nonterminals())
 	row.Prods = g.NumProductions()
@@ -107,7 +130,10 @@ func Measure(e *corpus.Entry, opts Options) Row {
 
 	finder := core.NewFinderFromCompiled(compiled, opts.Finder)
 	wallStart := time.Now()
-	exs, err := finder.FindAll()
+	sctx, ssp := trace.Start(ctx, "search")
+	ssp.Set("conflicts", len(tbl.Conflicts))
+	exs, err := finder.FindAllContext(sctx)
+	ssp.End()
 	row.Wall = time.Since(wallStart)
 	if err != nil {
 		row.Err = err
@@ -148,9 +174,14 @@ func Measure(e *corpus.Entry, opts Options) Row {
 // cycle runs between grammars so that retained search frontiers from one
 // grammar do not distort the next grammar's timing.
 func Table1(entries []*corpus.Entry, opts Options) []Row {
+	return Table1Context(context.Background(), entries, opts)
+}
+
+// Table1Context is Table1 with a caller context (see MeasureContext).
+func Table1Context(ctx context.Context, entries []*corpus.Entry, opts Options) []Row {
 	rows := make([]Row, 0, len(entries))
 	for _, e := range entries {
-		rows = append(rows, Measure(e, opts))
+		rows = append(rows, MeasureContext(ctx, e, opts))
 		runtime.GC()
 	}
 	return rows

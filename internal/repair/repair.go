@@ -27,6 +27,7 @@ import (
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
+	"lrcex/internal/trace"
 )
 
 // CompileFunc turns a candidate GDL patch into an analyzable grammar. The
@@ -219,7 +220,16 @@ func Advise(ctx context.Context, in Input, opts Options) (*Result, error) {
 					outcomes[i] = Outcome{Candidate: patches[i], Rejected: RejectDeadline, ConflictsBefore: len(tbl.Conflicts)}
 					continue
 				}
+				// The span sequence is the patch's work-list index — stable
+				// across worker counts like the outcomes themselves.
+				_, sp := trace.StartSeq(ctx, "repair.validate", i)
+				sp.Set("candidate", patches[i].ID)
 				outcomes[i] = validate(patches[i], in.Name, origSigs, probes, opts)
+				sp.Set("validated", outcomes[i].Validated)
+				if r := outcomes[i].Rejected; r != "" {
+					sp.Set("rejected", string(r))
+				}
+				sp.End()
 			}
 		}()
 	}

@@ -20,6 +20,7 @@ import (
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
+	"lrcex/internal/trace"
 )
 
 // AnalyzeRequest is the body of POST /v1/analyze.
@@ -314,7 +315,10 @@ func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, compiled 
 
 	if compiled == nil {
 		tableStart := time.Now()
+		tsp := trace.Child(ctx, "table.build")
 		compiled = core.Compile(lr.BuildTable(lr.Build(g)))
+		tsp.Set("states", len(compiled.Table().A.States))
+		tsp.End()
 		resp.Timings.TableMS = msSince(tableStart)
 		if onCompiled != nil {
 			onCompiled(compiled)
@@ -345,7 +349,10 @@ func analyze(ctx context.Context, g *grammar.Grammar, name, fp string, compiled 
 
 	finder := core.NewFinderFromCompiled(compiled, opts.finderOptions(base))
 	searchStart := time.Now()
-	exs, err := finder.FindAllContext(ctx)
+	sctx, ssp := trace.Start(ctx, "search")
+	ssp.Set("conflicts", len(tbl.Conflicts))
+	exs, err := finder.FindAllContext(sctx)
+	ssp.End()
 	resp.Timings.SearchMS = msSince(searchStart)
 	resp.Stats = statsJSON(finder.Stats())
 	deg := finder.Degraded()

@@ -33,6 +33,23 @@ var outcomes = []string{
 // latencyBuckets are the histogram upper bounds in seconds (+Inf implied).
 var latencyBuckets = [...]float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
 
+// conflictBuckets are the per-conflict search-latency bounds in seconds
+// (+Inf implied). Finer at the bottom than the request buckets: most
+// conflicts resolve in microseconds and the long pole is the whole point of
+// the histogram.
+var conflictBuckets = [...]float64{0.0005, 0.005, 0.05, 0.5, 5}
+
+// slowConflictBucket is the first bucket index considered "slow": samples
+// landing in it (or above, +Inf included) record a trace-ID exemplar so the
+// histogram links to the span tree that produced the tail latency.
+const slowConflictBucket = 2 // le=0.05 and up
+
+// conflictExemplar is the last slow sample observed for one bucket.
+type conflictExemplar struct {
+	traceID string
+	seconds float64
+}
+
 // outcomeMetrics is one outcome's counter + latency histogram.
 type outcomeMetrics struct {
 	count   atomic.Int64
@@ -83,6 +100,13 @@ type metrics struct {
 	searchPath         atomic.Int64
 	searchAllocBytes   atomic.Int64
 	searchPeakFrontier atomic.Int64 // max across analyses
+
+	// Per-conflict search-latency histogram with trace-ID exemplars on the
+	// slow buckets (cexd_conflict_search_duration_seconds).
+	conflictCount     atomic.Int64
+	conflictSumNS     atomic.Int64
+	conflictBuckets   [len(conflictBuckets) + 1]atomic.Int64 // cumulative; last = +Inf
+	conflictExemplars [len(conflictBuckets) + 1]atomic.Pointer[conflictExemplar]
 
 	// Cumulative per-phase wall-clock across executed analyses, in
 	// nanoseconds. Compile-cache hits contribute zero parse and table time,
@@ -143,6 +167,29 @@ func (m *metrics) addSearchStats(s core.SearchStats) {
 	}
 }
 
+// observeConflict records one conflict's search latency. Samples falling in
+// a slow bucket overwrite that bucket's exemplar with the observing flight's
+// trace ID — last-writer-wins is exactly the "give me a recent offender"
+// semantics exemplars exist for.
+func (m *metrics) observeConflict(d time.Duration, traceID string) {
+	m.conflictCount.Add(1)
+	m.conflictSumNS.Add(int64(d))
+	secs := d.Seconds()
+	own := len(conflictBuckets) // the sample's own (non-cumulative) bucket
+	for i, ub := range conflictBuckets {
+		if secs <= ub {
+			if own == len(conflictBuckets) {
+				own = i
+			}
+			m.conflictBuckets[i].Add(1)
+		}
+	}
+	m.conflictBuckets[len(conflictBuckets)].Add(1) // +Inf is cumulative like the rest
+	if own >= slowConflictBucket && traceID != "" {
+		m.conflictExemplars[own].Store(&conflictExemplar{traceID: traceID, seconds: secs})
+	}
+}
+
 // addRepair folds one executed advisor run's tallies into the cumulative
 // counters.
 func (m *metrics) addRepair(r *repair.Result) {
@@ -197,6 +244,24 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 		fmt.Fprintf(w, "cexd_request_duration_seconds_sum{outcome=%q} %.6f\n", o, time.Duration(om.sumNS.Load()).Seconds())
 		fmt.Fprintf(w, "cexd_request_duration_seconds_count{outcome=%q} %d\n", o, om.count.Load())
 	}
+
+	fmt.Fprintf(w, "# HELP cexd_conflict_search_duration_seconds Per-conflict counterexample search latency; slow buckets carry the last offending trace ID (drill down at /debug/traces).\n")
+	fmt.Fprintf(w, "# TYPE cexd_conflict_search_duration_seconds histogram\n")
+	exemplar := func(i int) string {
+		ex := m.conflictExemplars[i].Load()
+		if ex == nil {
+			return ""
+		}
+		return fmt.Sprintf(" # {trace_id=%q} %.6f", ex.traceID, ex.seconds)
+	}
+	for i, ub := range conflictBuckets {
+		fmt.Fprintf(w, "cexd_conflict_search_duration_seconds_bucket{le=%q} %d%s\n",
+			trimFloat(ub), m.conflictBuckets[i].Load(), exemplar(i))
+	}
+	fmt.Fprintf(w, "cexd_conflict_search_duration_seconds_bucket{le=\"+Inf\"} %d%s\n",
+		m.conflictBuckets[len(conflictBuckets)].Load(), exemplar(len(conflictBuckets)))
+	fmt.Fprintf(w, "cexd_conflict_search_duration_seconds_sum %.6f\n", time.Duration(m.conflictSumNS.Load()).Seconds())
+	fmt.Fprintf(w, "cexd_conflict_search_duration_seconds_count %d\n", m.conflictCount.Load())
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)

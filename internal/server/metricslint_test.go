@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lrcex/internal/trace"
+)
+
+// promSample is one parsed exposition-format sample line.
+type promSample struct {
+	name     string // full sample name, e.g. cexd_requests_total or ..._bucket
+	labels   map[string]string
+	value    float64
+	exemplar string // the raw " # {...}" suffix, "" when absent
+	line     string
+}
+
+// promFamily is one metric family as declared by its headers.
+type promFamily struct {
+	name      string
+	help      string
+	typ       string
+	helpFirst bool // HELP seen before any sample of the family
+	typeFirst bool
+	samples   []promSample
+}
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN)( # \{.*\} -?[0-9.eE+-]+)?$`)
+
+// parseProm parses the Prometheus text exposition format strictly enough to
+// lint it: HELP/TYPE headers, sample lines with optional label sets and
+// OpenMetrics-style exemplar suffixes. Any unparseable line fails the test.
+func parseProm(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := make(map[string]*promFamily)
+	get := func(name string) *promFamily {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &promFamily{name: name}
+		fams[name] = f
+		return f
+	}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			f := get(name)
+			if f.help != "" {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			f.help = help
+			f.helpFirst = len(f.samples) == 0
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("TYPE line without type: %q", line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("unknown TYPE %q in %q", typ, line)
+			}
+			f := get(name)
+			if f.typ != "" {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			f.typ = typ
+			f.typeFirst = len(f.samples) == 0
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		s := promSample{name: m[1], labels: parseLabels(t, m[2]), exemplar: m[4], line: line}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		s.value = v
+		f := get(familyOf(m[1]))
+		f.samples = append(f.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func parseLabels(t *testing.T, raw string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	raw = strings.TrimPrefix(strings.TrimSuffix(raw, "}"), "{")
+	if raw == "" {
+		return out
+	}
+	for _, pair := range strings.Split(raw, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			t.Fatalf("bad label pair %q", pair)
+		}
+		uq, err := strconv.Unquote(v)
+		if err != nil {
+			t.Fatalf("label value %s not quoted: %v", pair, err)
+		}
+		if _, dup := out[k]; dup {
+			t.Fatalf("duplicate label %q in %q", k, raw)
+		}
+		out[k] = uq
+	}
+	return out
+}
+
+// familyOf maps a sample name to its declaring family: histogram series
+// _bucket/_sum/_count roll up to the base name when that base was declared.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			return base
+		}
+	}
+	return name
+}
+
+// sampleKey identifies one series across scrapes.
+func sampleKey(s promSample) string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, s.labels[k])
+	}
+	return b.String()
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsPrometheusLint scrapes /metrics twice with traffic in between
+// and lints the exposition: every family carries TYPE and HELP headers
+// before its first sample, label-name sets are consistent within a family,
+// histogram buckets are cumulative and agree with _count, exemplars appear
+// only on histogram buckets, no series is emitted twice, and every cexd_*
+// counter is monotonic across the two scrapes.
+func TestMetricsPrometheusLint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Tracer: trace.NewTracer(8)})
+	src := figure1Source(t)
+
+	// Traffic before scrape 1: an analysis, a cache hit, and an invalid
+	// request populate several outcome series.
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "figure1", Grammar: src}, nil)
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "figure1", Grammar: src}, nil)
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "bad", Grammar: "???"}, nil)
+
+	first := parseProm(t, scrape(t, ts))
+
+	// More traffic, then scrape 2 for the monotonicity check.
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "figure1", Grammar: src}, nil)
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "figure1", Grammar: src,
+		Options: AnalyzeOptions{MaxConfigs: 50}}, nil)
+
+	second := parseProm(t, scrape(t, ts))
+
+	for name, f := range second {
+		if len(f.samples) == 0 {
+			t.Errorf("%s: headers but no samples", name)
+			continue
+		}
+		if f.help == "" || !f.helpFirst {
+			t.Errorf("%s: missing HELP header before first sample", name)
+		}
+		if f.typ == "" || !f.typeFirst {
+			t.Errorf("%s: missing TYPE header before first sample", name)
+		}
+
+		// Label-name sets must agree across every sample of one series name
+		// (histogram _bucket series all carry le; _sum/_count never do).
+		byName := map[string]string{}
+		for _, s := range f.samples {
+			keys := make([]string, 0, len(s.labels))
+			for k := range s.labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			sig := strings.Join(keys, ",")
+			if prev, ok := byName[s.name]; ok && prev != sig {
+				t.Errorf("%s: inconsistent label names: %q vs %q", s.name, prev, sig)
+			}
+			byName[s.name] = sig
+			if s.exemplar != "" && (f.typ != "histogram" || !strings.HasSuffix(s.name, "_bucket")) {
+				t.Errorf("%s: exemplar on non-bucket sample: %s", name, s.line)
+			}
+		}
+
+		// No duplicate series.
+		seen := map[string]bool{}
+		for _, s := range f.samples {
+			k := sampleKey(s)
+			if seen[k] {
+				t.Errorf("duplicate series %s", k)
+			}
+			seen[k] = true
+		}
+
+		if f.typ == "histogram" {
+			lintHistogram(t, f)
+		}
+	}
+
+	// Counter monotonicity: every counter series present in scrape 1 must be
+	// <= its scrape-2 value (and still present). Histogram buckets and counts
+	// are cumulative counters too.
+	for name, f1 := range first {
+		f2, ok := second[name]
+		if !ok {
+			t.Errorf("%s: present in scrape 1, missing from scrape 2", name)
+			continue
+		}
+		if f1.typ != "counter" && f1.typ != "histogram" {
+			continue
+		}
+		v2 := map[string]float64{}
+		for _, s := range f2.samples {
+			v2[sampleKey(s)] = s.value
+		}
+		for _, s := range f1.samples {
+			after, ok := v2[sampleKey(s)]
+			if !ok {
+				t.Errorf("series %s disappeared between scrapes", sampleKey(s))
+				continue
+			}
+			if after < s.value {
+				t.Errorf("%s not monotonic: %v -> %v", sampleKey(s), s.value, after)
+			}
+		}
+	}
+
+	// The analyze traffic above must have produced at least one request
+	// counter increment between the scrapes — otherwise the monotonicity
+	// check was vacuous.
+	sum := func(fams map[string]*promFamily) (total float64) {
+		if f, ok := fams["cexd_requests_total"]; ok {
+			for _, s := range f.samples {
+				total += s.value
+			}
+		}
+		return
+	}
+	if sum(second) <= sum(first) {
+		t.Fatalf("requests_total did not advance between scrapes (%v -> %v)", sum(first), sum(second))
+	}
+}
+
+// lintHistogram checks bucket cumulativity per label partition: within one
+// outcome (or the unlabeled partition), bucket counts never decrease as le
+// grows, an le="+Inf" bucket exists, and it equals the _count series.
+func lintHistogram(t *testing.T, f *promFamily) {
+	t.Helper()
+	type part struct {
+		buckets map[float64]float64 // le -> count (+Inf as math.Inf is keyed below)
+		inf     float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+	}
+	parts := map[string]*part{}
+	partKey := func(s promSample) string {
+		keys := make([]string, 0, len(s.labels))
+		for k := range s.labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s=%s,", k, s.labels[k])
+		}
+		return b.String()
+	}
+	get := func(k string) *part {
+		if p, ok := parts[k]; ok {
+			return p
+		}
+		p := &part{buckets: map[float64]float64{}}
+		parts[k] = p
+		return p
+	}
+	for _, s := range f.samples {
+		p := get(partKey(s))
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Errorf("%s: bucket without le label: %s", f.name, s.line)
+				continue
+			}
+			if le == "+Inf" {
+				p.inf, p.hasInf = s.value, true
+				continue
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Errorf("%s: bad le %q", f.name, le)
+				continue
+			}
+			p.buckets[ub] = s.value
+		case strings.HasSuffix(s.name, "_count"):
+			p.count, p.hasCnt = s.value, true
+		}
+	}
+	for key, p := range parts {
+		if !p.hasInf {
+			t.Errorf("%s{%s}: no le=\"+Inf\" bucket", f.name, key)
+			continue
+		}
+		ubs := make([]float64, 0, len(p.buckets))
+		for ub := range p.buckets {
+			ubs = append(ubs, ub)
+		}
+		sort.Float64s(ubs)
+		prev := 0.0
+		for _, ub := range ubs {
+			if p.buckets[ub] < prev {
+				t.Errorf("%s{%s}: bucket le=%v (%v) below previous (%v)", f.name, key, ub, p.buckets[ub], prev)
+			}
+			prev = p.buckets[ub]
+		}
+		if p.inf < prev {
+			t.Errorf("%s{%s}: +Inf bucket %v below largest finite bucket %v", f.name, key, p.inf, prev)
+		}
+		if p.hasCnt && p.inf != p.count {
+			t.Errorf("%s{%s}: +Inf bucket %v != count %v", f.name, key, p.inf, p.count)
+		}
+	}
+}
+
+// TestConflictHistogramExemplars pins the exemplar contract at the metrics
+// layer: slow samples attach the observing trace ID to their own bucket,
+// fast samples never do, and the rendered line parses under the lint
+// grammar.
+func TestConflictHistogramExemplars(t *testing.T) {
+	m := newMetrics()
+	m.observeConflict(100*time.Microsecond, "fast-trace") // below slow threshold
+	m.observeConflict(80*time.Millisecond, "slow-trace")  // lands in le=0.5
+	m.observeConflict(10*time.Second, "")                 // slow but anonymous: no exemplar
+
+	var sb strings.Builder
+	m.write(&sb, 0, 0, cacheScrape{}, cacheScrape{}, persistScrape{}, 0)
+	text := sb.String()
+
+	if strings.Contains(text, "fast-trace") {
+		t.Error("fast sample produced an exemplar")
+	}
+	var slowLine string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "slow-trace") {
+			slowLine = line
+			break
+		}
+	}
+	if slowLine == "" {
+		t.Fatalf("no exemplar for the slow sample:\n%s", text)
+	}
+	if !strings.Contains(slowLine, `le="0.5"`) {
+		t.Errorf("exemplar on wrong bucket: %s", slowLine)
+	}
+	if sampleRe.FindStringSubmatch(slowLine) == nil {
+		t.Errorf("exemplar line does not parse: %s", slowLine)
+	}
+	// The anonymous slow sample must not have overwritten any exemplar with
+	// an empty trace ID.
+	if strings.Contains(text, `trace_id=""`) {
+		t.Error("empty trace_id exemplar emitted")
+	}
+	fams := parseProm(t, text)
+	f := fams["cexd_conflict_search_duration_seconds"]
+	if f == nil || f.typ != "histogram" {
+		t.Fatal("conflict histogram family missing or mistyped")
+	}
+	lintHistogram(t, f)
+}

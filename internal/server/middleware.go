@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"lrcex/internal/faults"
+	"lrcex/internal/trace"
 )
 
 // Request-ID middleware and the handler-level panic backstop. Every request
@@ -53,26 +55,57 @@ func RequestID(ctx context.Context) string {
 // the middleware settles for closing the connection.
 type statusRecorder struct {
 	http.ResponseWriter
-	wrote bool
+	wrote  bool
+	status int
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.wrote = true
+	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+	}
 	r.wrote = true
 	return r.ResponseWriter.Write(b)
 }
 
-// withRequestID wraps h with the request-ID and panic-recovery middleware.
+// withRequestID wraps h with the request-ID, tracing, and panic-recovery
+// middleware. Analysis requests (/v1/...) get a trace rooted at an
+// "http.request" span whose trace ID is the request ID, so the X-Request-ID
+// header, the structured log lines, and the /debug/traces entry all share
+// one key.
 func (s *Server) withRequestID(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := nextRequestID()
 		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w}
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			// One completion line per analysis request, same key as the
+			// X-Request-ID header and the /debug/traces entry. Scrape
+			// endpoints (/metrics, /healthz) stay quiet.
+			start := time.Now()
+			defer func() {
+				s.log.Info("request",
+					"request_id", id, "method", r.Method, "path", r.URL.Path,
+					"status", rec.status, "dur_ms", msSince(start))
+			}()
+			if s.cfg.Tracer != nil {
+				var root *trace.Span
+				ctx, root = trace.New(ctx, s.cfg.Tracer, id, "http.request")
+				root.Set("method", r.Method)
+				root.Set("path", r.URL.Path)
+				defer func() {
+					root.SetVolatile("status", rec.status)
+					root.End()
+				}()
+			}
+		}
+		r = r.WithContext(ctx)
 		defer func() {
 			p := recover()
 			if p == nil {
@@ -80,7 +113,9 @@ func (s *Server) withRequestID(h http.Handler) http.Handler {
 			}
 			s.m.panics.Add(1)
 			s.health.panicked()
-			s.logf("panic in handler (request %s): %v\n%s", id, p, faults.Stack())
+			s.log.Error("panic in handler",
+				"request_id", id, "path", r.URL.Path,
+				"panic", fmt.Sprint(p), "stack", string(faults.Stack()))
 			if !rec.wrote {
 				writeJSON(rec, http.StatusInternalServerError, &ErrorResponse{
 					Error:     fmt.Sprintf("internal panic (request %s)", id),
@@ -91,11 +126,4 @@ func (s *Server) withRequestID(h http.Handler) http.Handler {
 		}()
 		h.ServeHTTP(rec, r)
 	})
-}
-
-// logf writes to the configured logger; a nil logger discards.
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-	}
 }

@@ -203,8 +203,8 @@ func (p *persister) snapshotLoop(s *Server, interval time.Duration, quit <-chan 
 	for {
 		select {
 		case <-t.C:
-			if err := p.snapshot(s); err != nil {
-				s.logf("persist: snapshot failed: %v", err)
+			if err := s.snapshotTraced("interval"); err != nil {
+				s.log.Error("persist snapshot failed", "err", err)
 			}
 		case <-quit:
 			return

@@ -132,7 +132,7 @@ func TestPersistPreservesEvictionOrder(t *testing.T) {
 					model.get(k)
 				} else {
 					val := &AnalyzeResponse{Name: k, Fingerprint: strings.Repeat("ab", 32)}
-					s1.addResult(k, val)
+					s1.addResult(context.Background(), k, val)
 					model.add(k, val)
 				}
 			}
@@ -275,7 +275,7 @@ func grepLines(s, substr string) string {
 func TestSnapshotFailureDegradesHealthz(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := newDurableServer(t, dir, Config{})
-	s.addResult("k", &AnalyzeResponse{Name: "k", Fingerprint: strings.Repeat("ab", 32)})
+	s.addResult(context.Background(), "k", &AnalyzeResponse{Name: "k", Fingerprint: strings.Repeat("ab", 32)})
 
 	faults.Enable(faults.Config{Seed: 3, Rates: map[faults.Point]faults.Rate{
 		faults.PersistWrite: {Prob: 1},

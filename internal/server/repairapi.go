@@ -12,6 +12,7 @@ import (
 	"lrcex/internal/gdl"
 	"lrcex/internal/grammar"
 	"lrcex/internal/repair"
+	"lrcex/internal/trace"
 )
 
 // RepairOptions is the wire form of the advisor's tuning knobs — the same
@@ -133,8 +134,11 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "repair|" + fp + "|" + req.Options.optionsKey() + "|" + req.Repair.repairKey()
+	lookup := trace.Child(r.Context(), "cache.repair")
 	if cached, ok := s.cache.get(key); ok {
 		if !faults.Should(faults.ServerCache) {
+			lookup.Set("hit", true)
+			lookup.End()
 			s.m.repairCacheHits.Add(1)
 			resp := *cached.(*RepairResponse) // shallow copy: slices are shared, immutable
 			resp.Cached = true
@@ -142,19 +146,31 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	lookup.Set("hit", false)
+	lookup.End()
 
 	var g *grammar.Grammar
 	var compiled *core.Compiled
 	var parseMS float64
+	clookup := trace.Child(r.Context(), "cache.compile")
 	if ce, ok := s.compile.get(fp); ok {
+		clookup.Set("hit", true)
+		clookup.End()
 		g, compiled = ce.g, ce.c
 	} else {
+		clookup.Set("hit", false)
+		clookup.End()
 		parseStart := time.Now()
+		psp := trace.Child(r.Context(), "gdl.parse")
 		g, err = gdl.ParseLimited(name, req.Grammar, s.cfg.Limits)
 		if err != nil {
+			psp.Set("error", err.Error())
+			psp.End()
 			s.failParse(w, start, err)
 			return
 		}
+		psp.Set("productions", g.NumProductions())
+		psp.End()
 		parseMS = msSince(parseStart)
 	}
 
@@ -169,11 +185,14 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 
-	res, err, shared := s.execute(key, g, name, fp, req.Grammar, compiled, req.Options, &req.Repair, deadline, parseMS)
+	res, err, shared := s.execute(r.Context(), key, g, name, fp, req.Grammar, compiled, req.Options, &req.Repair, deadline, parseMS)
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.m.shed.Add(1)
 		s.health.shed()
+		s.log.Warn("request shed: queue full",
+			"request_id", RequestID(r.Context()), "grammar", name,
+			"queue_depth", len(s.jobs), "queue_capacity", cap(s.jobs))
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		s.fail(w, start, http.StatusTooManyRequests, "overloaded",
 			"analysis queue full; retry later", outcomeShed)
@@ -192,7 +211,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	switch res.status {
 	case http.StatusOK:
 		rr := &RepairResponse{AnalyzeResponse: *res.resp, Repair: res.repair}
-		s.addResult(key, rr)
+		s.addResult(r.Context(), key, rr)
 		s.respondRepair(w, start, http.StatusOK, rr, outcomeOK)
 	case http.StatusGatewayTimeout:
 		// Partial reports are never cached: a longer-deadline retry must

@@ -5,7 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"lrcex/internal/grammar"
 	"lrcex/internal/lr"
 	"lrcex/internal/repair"
+	"lrcex/internal/trace"
 )
 
 // Config tunes the service. The zero value selects production-safe defaults.
@@ -62,9 +64,17 @@ type Config struct {
 	// 30s). The stall is counted and degrades /healthz; the stuck worker —
 	// if it ever finishes — publishes into a result nobody reads.
 	WatchdogGrace time.Duration
-	// Logger receives operational events: recovered panics, watchdog
-	// stalls. nil discards.
-	Logger *log.Logger
+	// Logger receives operational events as structured records: recovered
+	// panics, watchdog stalls, shed decisions, drain progress, persistence
+	// failures. Request-scoped records carry a request_id attribute so a log
+	// line, an X-Request-ID response header, and a trace correlate. nil
+	// discards.
+	Logger *slog.Logger
+	// Tracer, when non-nil, records a span tree per /v1/ request into its
+	// bounded ring buffer, served at /debug/traces (JSON, or ?format=chrome
+	// for chrome://tracing). nil disables tracing: the instrumentation then
+	// costs one atomic load per span site.
+	Tracer *trace.Tracer
 	// StateDir, when non-empty, enables crash-safe durable state: the result,
 	// repair, and compiled-grammar caches are journaled to this directory and
 	// reloaded on the next boot (internal/persist). A corrupt or truncated
@@ -133,6 +143,7 @@ func (e *RequestTooLargeError) Error() string {
 // http.Server, and call Shutdown to drain.
 type Server struct {
 	cfg     Config
+	log     *slog.Logger // never nil: a discard logger replaces Config.Logger == nil
 	cache   *resultCache
 	compile *compileCache
 	sf      group
@@ -148,6 +159,7 @@ type Server struct {
 	draining atomic.Bool
 	workers  sync.WaitGroup
 	bg       sync.WaitGroup // background snapshotter
+	snapSeq  atomic.Uint64  // trace IDs for background snapshots
 
 	// testGate, when set, is invoked by a worker right before it runs a
 	// job's analysis — tests use it to hold workers mid-flight.
@@ -160,10 +172,15 @@ type job struct {
 	g        *grammar.Grammar
 	name     string
 	fp       string
+	rid      string // leader's request ID, for log correlation off the request goroutine
 	opts     AnalyzeOptions
-	ctx      context.Context // carries the request deadline
+	ctx      context.Context // carries the request deadline (and the flight's trace span)
 	admitted time.Time
 	queueMS  float64
+
+	// queueSpan measures admission → worker pickup; opened by execute, ended
+	// by the worker (nil when tracing is off).
+	queueSpan *trace.Span
 
 	// compiled, when non-nil, is the compile-cache hit for this grammar; the
 	// worker skips the table construction. onCompiled, when set, receives the
@@ -199,8 +216,13 @@ var (
 // New starts the worker pool and returns the server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:     cfg,
+		log:     logger,
 		cache:   newResultCache(cfg.CacheEntries),
 		compile: newCompileCache(cfg.CompileEntries),
 		m:       newMetrics(),
@@ -215,12 +237,15 @@ func New(cfg Config) *Server {
 			// so loudly (the failure is also visible as a permanent /healthz
 			// degradation via the snapshot-failure reason once snapshots run,
 			// and here at boot in the log).
-			s.logf("persist: disabled, cannot open state dir %q: %v", cfg.StateDir, err)
+			s.log.Error("persist disabled: cannot open state dir",
+				"state_dir", cfg.StateDir, "err", err)
 		} else {
 			s.per = per
 			per.load(s)
-			s.logf("persist: recovered %d record(s) from %q (%d skipped)",
-				per.loaded.Load(), cfg.StateDir, per.skipped.Load())
+			s.log.Info("persist recovered durable state",
+				"state_dir", cfg.StateDir,
+				"records_loaded", per.loaded.Load(),
+				"records_skipped", per.skipped.Load())
 			s.bg.Add(1)
 			go per.snapshotLoop(s, cfg.SnapshotInterval, s.quit, &s.bg)
 		}
@@ -261,6 +286,10 @@ func (s *Server) worker() {
 func (s *Server) run(j *job) {
 	defer close(j.done)
 	j.queueMS = msSince(j.admitted)
+	if sp := j.queueSpan; sp != nil {
+		sp.SetVolatile("queue_ms", j.queueMS)
+		sp.End()
+	}
 	if gate := s.testGate; gate != nil {
 		gate()
 	}
@@ -281,7 +310,9 @@ func (s *Server) runGuarded(j *job) (res *jobResult) {
 		if r := recover(); r != nil {
 			s.m.panics.Add(1)
 			s.health.panicked()
-			s.logf("worker panic on %q: %v\n%s", j.name, r, faults.Stack())
+			s.log.Error("worker panic recovered",
+				"request_id", j.rid, "grammar", j.name,
+				"panic", fmt.Sprint(r), "stack", string(faults.Stack()))
 			res = &jobResult{
 				status: http.StatusInternalServerError,
 				err:    fmt.Errorf("worker panic: %v", r),
@@ -300,6 +331,15 @@ func (s *Server) runGuarded(j *job) (res *jobResult) {
 		}
 	}
 	resp, exs, err := analyze(j.ctx, j.g, j.name, j.fp, j.compiled, capture, j.opts, s.cfg.Finder)
+	// Per-conflict search latencies feed the exemplar histogram: slow-bucket
+	// samples carry this flight's trace ID, so a tail-latency spike on
+	// /metrics links straight to its span tree on /debug/traces.
+	traceID := trace.ID(j.ctx)
+	for _, ex := range exs {
+		if ex != nil {
+			s.m.observeConflict(ex.Elapsed, traceID)
+		}
+	}
 	res = &jobResult{resp: resp}
 	switch {
 	case err == nil:
@@ -369,28 +409,35 @@ func (s *Server) repairCompile(name, src string) (*grammar.Grammar, *core.Compil
 	}
 	c := core.Compile(lr.BuildTable(lr.Build(g)))
 	if fperr == nil {
-		s.addCompiled(fp, &compiledGrammar{g: g, c: c, name: name, src: src})
+		s.addCompiled(context.Background(), fp, &compiledGrammar{g: g, c: c, name: name, src: src})
 	}
 	return g, c, nil
 }
 
 // addCompiled inserts into the compile cache and journals the insert (as
 // fingerprint → source) when persistence is enabled. Every insert site goes
-// through here so a restarted daemon can rebuild the artifact.
-func (s *Server) addCompiled(fp string, ce *compiledGrammar) {
+// through here so a restarted daemon can rebuild the artifact. ctx carries
+// the span the journal append is attributed to (if any).
+func (s *Server) addCompiled(ctx context.Context, fp string, ce *compiledGrammar) {
 	s.compile.add(fp, ce)
 	if s.per != nil {
+		sp := trace.Child(ctx, "persist.append")
+		sp.Set("record", "compile")
 		s.per.noteCompile(fp, ce)
+		sp.End()
 	}
 }
 
 // addResult inserts a complete report into the result cache and journals it.
 // Partial reports never reach here (they are never cached), so the store
 // only ever holds reports a future request may be answered with verbatim.
-func (s *Server) addResult(key string, val any) {
+func (s *Server) addResult(ctx context.Context, key string, val any) {
 	s.cache.add(key, val)
 	if s.per != nil {
+		sp := trace.Child(ctx, "persist.append")
+		sp.Set("record", "result")
 		s.per.noteResult(key, val)
+		sp.End()
 	}
 }
 
@@ -437,6 +484,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining.CompareAndSwap(false, true) {
 		return nil // already shutting down
 	}
+	s.log.Info("drain started", "queued", len(s.jobs), "in_flight", s.m.inflight.Load())
 	close(s.quit)
 	done := make(chan struct{})
 	go func() {
@@ -454,6 +502,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				close(j.done)
 			default:
 				s.flushState()
+				s.log.Info("drain complete")
 				return nil
 			}
 		}
@@ -470,12 +519,30 @@ func (s *Server) flushState() {
 		return
 	}
 	s.bg.Wait()
-	if err := s.per.snapshot(s); err != nil {
-		s.logf("persist: final drain snapshot failed: %v", err)
+	if err := s.snapshotTraced("drain"); err != nil {
+		s.log.Error("persist final drain snapshot failed", "err", err)
 	}
 	if err := s.per.store.Close(); err != nil {
-		s.logf("persist: closing store: %v", err)
+		s.log.Error("persist store close failed", "err", err)
 	}
+}
+
+// snapshotTraced takes one snapshot under its own trace (snapshots run on
+// background goroutines, outside any request), so snapshot cost shows up on
+// /debug/traces alongside the requests it competes with.
+func (s *Server) snapshotTraced(reason string) error {
+	if s.cfg.Tracer == nil {
+		return s.per.snapshot(s)
+	}
+	id := fmt.Sprintf("snapshot-%s-%06d", reason, s.snapSeq.Add(1))
+	_, root := trace.New(context.Background(), s.cfg.Tracer, id, "persist.snapshot")
+	root.Set("reason", reason)
+	err := s.per.snapshot(s)
+	if err != nil {
+		root.Set("error", err.Error())
+	}
+	root.End()
+	return err
 }
 
 // Draining reports whether Shutdown has begun.
@@ -483,17 +550,48 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the service's HTTP mux:
 //
-//	POST /v1/analyze   analyze a grammar
-//	POST /v1/repair    analyze + synthesize and validate conflict repairs
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/analyze     analyze a grammar
+//	POST /v1/repair      analyze + synthesize and validate conflict repairs
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        Prometheus text exposition
+//	GET  /debug/traces   recent request traces (404 unless Config.Tracer set;
+//	                     ?format=chrome for a chrome://tracing file)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/repair", s.handleRepair)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	return s.withRequestID(mux)
+}
+
+// handleTraces serves the tracer's ring buffer: newest-last JSON span trees,
+// or a Chrome trace-event file with ?format=chrome.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tracer := s.cfg.Tracer
+	if tracer == nil {
+		writeJSON(w, http.StatusNotFound, &ErrorResponse{
+			Error: "tracing disabled (no tracer configured)", Code: "not_found",
+		})
+		return
+	}
+	traces := tracer.Traces()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(trace.Chrome(traces))
+		return
+	}
+	out := struct {
+		Retained int               `json:"retained"`
+		Total    int64             `json:"total"`
+		Traces   []trace.TraceJSON `json:"traces"`
+	}{Retained: len(traces), Total: tracer.Total()}
+	out.Traces = make([]trace.TraceJSON, 0, len(traces))
+	for _, t := range traces {
+		out.Traces = append(out.Traces, t.JSON())
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealthz reports liveness with three states: "ok", "degraded" (still
@@ -556,28 +654,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // submissions ride one execution; the flight runs on a context detached from
 // any single client so a leader disconnect cannot poison followers; the
 // deadline still bounds it, and queue wait spends from the same budget.
-func (s *Server) execute(key string, g *grammar.Grammar, name, fp, src string, compiled *core.Compiled, opts AnalyzeOptions, rep *RepairOptions, deadline time.Duration, parseMS float64) (*jobResult, error, bool) {
+func (s *Server) execute(reqCtx context.Context, key string, g *grammar.Grammar, name, fp, src string, compiled *core.Compiled, opts AnalyzeOptions, rep *RepairOptions, deadline time.Duration, parseMS float64) (*jobResult, error, bool) {
+	rid := RequestID(reqCtx)
 	return s.sf.do(key, func() (*jobResult, error) {
 		// Injected downstream failure inside the singleflight leader: the
 		// whole flight errors (leader and followers all see the 500).
 		if err := faults.ErrorAt(faults.ServerFlight); err != nil {
 			return nil, err
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		// The flight runs detached from the leader's request context — a
+		// leader disconnect must not poison followers — but keeps the
+		// leader's trace span, so the whole execution stays on one tree.
+		ctx, cancel := context.WithTimeout(trace.Detach(reqCtx), deadline)
 		defer cancel()
+		ctx, flight := trace.Start(ctx, "singleflight.lead")
+		defer flight.End()
 		j := &job{
-			g: g, name: name, fp: fp, opts: opts, compiled: compiled, repair: rep,
+			g: g, name: name, fp: fp, rid: rid, opts: opts, compiled: compiled, repair: rep,
 			ctx: ctx, admitted: time.Now(), done: make(chan struct{}),
+			queueSpan: trace.Child(ctx, "queue.wait"),
 		}
 		if compiled == nil {
 			// Insert into the compile cache as soon as the worker finishes
 			// the build — before the searches — so even a deadline-expired
 			// analysis leaves the tables behind for the retry.
 			j.onCompiled = func(c *core.Compiled) {
-				s.addCompiled(fp, &compiledGrammar{g: g, c: c, name: name, src: src})
+				s.addCompiled(ctx, fp, &compiledGrammar{g: g, c: c, name: name, src: src})
 			}
 		}
 		if err := s.submit(j); err != nil {
+			j.queueSpan.End()
 			return nil, err
 		}
 		// Watchdog: the worker should answer within the deadline (context
@@ -591,7 +697,11 @@ func (s *Server) execute(key string, g *grammar.Grammar, name, fp, src string, c
 		case <-wd.C:
 			s.m.stalls.Add(1)
 			s.health.stalled()
-			s.logf("watchdog: analysis of %q still running %v past its deadline; abandoning", name, s.cfg.WatchdogGrace)
+			flight.Set("watchdog", "abandoned")
+			s.log.Error("watchdog abandoned stalled analysis",
+				"request_id", rid, "grammar", name,
+				"deadline_ms", deadline.Milliseconds(),
+				"grace_ms", s.cfg.WatchdogGrace.Milliseconds())
 			return nil, errWatchdog
 		}
 		// Safe to mutate here: followers are still blocked on the flight,
@@ -649,6 +759,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		name = "grammar"
 	}
 
+	ctx := r.Context()
+
 	// Canonical fingerprint: O(source) lexing, no tables. A cache hit skips
 	// everything downstream, including the GDL parse.
 	fp, err := gdl.Fingerprint(name, req.Grammar, s.cfg.Limits)
@@ -657,16 +769,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fp + "|" + req.Options.optionsKey()
+	lookup := trace.Child(ctx, "cache.result")
 	if cached, ok := s.cache.get(key); ok {
 		// Injected cache-node loss: the hit is discarded and the analysis
 		// re-runs, exercising the miss path's correctness under chaos.
 		if !faults.Should(faults.ServerCache) {
+			lookup.Set("hit", true)
+			lookup.End()
 			resp := *cached.(*AnalyzeResponse) // shallow copy: slices are shared, immutable
 			resp.Cached = true
 			s.respond(w, start, http.StatusOK, &resp, outcomeCacheHit)
 			return
 		}
 	}
+	lookup.Set("hit", false)
+	lookup.End()
 
 	// Compiled-grammar cache: keyed by fingerprint alone, so a result-cache
 	// miss — different options, or a source mutation the canonical form
@@ -674,15 +791,25 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var g *grammar.Grammar
 	var compiled *core.Compiled
 	var parseMS float64
+	clookup := trace.Child(ctx, "cache.compile")
 	if ce, ok := s.compile.get(fp); ok {
+		clookup.Set("hit", true)
+		clookup.End()
 		g, compiled = ce.g, ce.c
 	} else {
+		clookup.Set("hit", false)
+		clookup.End()
 		parseStart := time.Now()
+		psp := trace.Child(ctx, "gdl.parse")
 		g, err = gdl.ParseLimited(name, req.Grammar, s.cfg.Limits)
 		if err != nil {
+			psp.Set("error", err.Error())
+			psp.End()
 			s.failParse(w, start, err)
 			return
 		}
+		psp.Set("productions", g.NumProductions())
+		psp.End()
 		parseMS = msSince(parseStart)
 	}
 
@@ -697,11 +824,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
 
-	res, err, shared := s.execute(key, g, name, fp, req.Grammar, compiled, req.Options, nil, deadline, parseMS)
+	res, err, shared := s.execute(ctx, key, g, name, fp, req.Grammar, compiled, req.Options, nil, deadline, parseMS)
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.m.shed.Add(1)
 		s.health.shed()
+		s.log.Warn("request shed: queue full",
+			"request_id", RequestID(ctx), "grammar", name,
+			"queue_depth", len(s.jobs), "queue_capacity", cap(s.jobs))
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		s.fail(w, start, http.StatusTooManyRequests, "overloaded",
 			"analysis queue full; retry later", outcomeShed)
@@ -719,7 +849,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	switch res.status {
 	case http.StatusOK:
-		s.addResult(key, res.resp)
+		s.addResult(ctx, key, res.resp)
 		s.respond(w, start, http.StatusOK, res.resp, outcomeOK)
 	case http.StatusGatewayTimeout:
 		// Partial reports are never cached: a longer-deadline retry must

@@ -19,6 +19,9 @@
 #           dir, SIGKILLed mid-load and restarted; fails on a malformed
 #           response, an unhealthy boot, a report that differs from the
 #           never-killed control, or a cold warm-restart
+#   tier 9: cextrace smoke — a traced replay through an in-process cexd;
+#           fails if the span tree diverges anywhere in the
+#           j{1,8}×intra{1,4} matrix
 #
 # Usage: scripts/verify.sh [fuzztime]   (default fuzz smoke: 10s)
 set -eu
@@ -35,7 +38,7 @@ go vet ./...
 # -short trims the whole-grammar Java.2 corner points (tier 1 runs them
 # race-free); the intra-worker determinism matrices — the schedules the race
 # detector exists to check — run in full.
-go test -race -short ./internal/core/... ./internal/eval/... ./internal/repair/... ./internal/server/... ./internal/persist/...
+go test -race -short ./internal/core/... ./internal/eval/... ./internal/repair/... ./internal/server/... ./internal/persist/... ./internal/trace/...
 
 echo "== tier 3: fuzz smoke (${FUZZTIME}) =="
 go test -run='^$' -fuzz=FuzzFindAll -fuzztime="$FUZZTIME" ./internal/core/
@@ -57,5 +60,8 @@ go run ./cmd/cexfix -smoke -q -out /dev/null
 
 echo "== tier 8: kill/restart durable-state smoke =="
 go run ./cmd/cexrestart -smoke -out /dev/null
+
+echo "== tier 9: tracing smoke (span-tree determinism) =="
+go run ./cmd/cextrace -smoke -out /dev/null
 
 echo "verify: OK"
