@@ -390,7 +390,7 @@ func scrapePersist(logger *log.Logger, c *client.Client, ctx context.Context) (l
 		logger.Printf("metrics scrape: %v", err)
 		return 0, 0
 	}
-	return metricValue(text, "cexd_persist_records_loaded"), metricValue(text, "cexd_persist_records_skipped_corrupt")
+	return metricValue(text, "cexd_persist_records_loaded_total"), metricValue(text, "cexd_persist_records_skipped_corrupt_total")
 }
 
 func metricValue(text, name string) int64 {

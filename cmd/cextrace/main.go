@@ -27,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"lrcex/internal/core"
@@ -170,12 +171,16 @@ func replayLongPole(entries []*corpus.Entry, maxConfigs, topK, workers int) (Lon
 	hs := &http.Server{Handler: s.Handler()}
 	go hs.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		hs.Shutdown(ctx)
-		s.Shutdown(ctx)
-	}()
+	var stopOnce sync.Once
+	shutdown := func() {
+		stopOnce.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			hs.Shutdown(ctx)
+			s.Shutdown(ctx)
+		})
+	}
+	defer shutdown()
 
 	// One request per grammar; the X-Request-ID response header is the trace
 	// ID, which is how conflict spans get their grammar attribution.
@@ -202,6 +207,13 @@ func replayLongPole(entries []*corpus.Entry, maxConfigs, topK, workers int) (Lon
 		}
 		grammarOf[res.Header.Get("X-Request-ID")] = e.Name
 	}
+
+	// The middleware finishes a request's trace in a deferred root.End that
+	// can run after the client already has the response, so the final trace
+	// may not be in the ring yet. Shutting the server down first waits out
+	// every in-flight handler; only then is the ring complete and safe to
+	// aggregate.
+	shutdown()
 
 	var lp LongPole
 	var poles []PoleEntry

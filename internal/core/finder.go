@@ -557,16 +557,22 @@ func (f *Finder) FindContext(ctx context.Context, c lr.Conflict) (*Example, erro
 	return f.findTraced(ctx, c, f.conflictIndex(c), sc, nil)
 }
 
+// fallbackConflictSeq offsets the span sequence number of a conflict not
+// found in the table into a namespace genuine table indices can never reach
+// (mirroring the 1_000_000 offset StartSeq applies), so a fallback sequence
+// cannot collide with a real conflict index and mint a duplicate span ID.
+const fallbackConflictSeq = 1_000_000
+
 // conflictIndex locates c in the table's conflict list so single-conflict
 // calls stamp the same span sequence number FindAll would; unknown conflicts
-// key off their state instead.
+// key off their state, offset out of the table-index namespace.
 func (f *Finder) conflictIndex(c lr.Conflict) int {
 	for i, tc := range f.tbl.Conflicts {
 		if tc.State == c.State && tc.Sym == c.Sym && tc.Item1 == c.Item1 && tc.Item2 == c.Item2 {
 			return i
 		}
 	}
-	return c.State
+	return fallbackConflictSeq + c.State
 }
 
 // findTraced wraps find in a "conflict.search" span. The sequence number is

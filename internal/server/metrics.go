@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -212,15 +213,30 @@ func (m *metrics) addPhaseTimings(t Timings) {
 	m.phaseSearchNS.Add(int64(t.SearchMS * float64(time.Millisecond)))
 }
 
-// write renders the scrape. queueDepth and the cache scrapes are sampled
-// gauges and counters the server passes in.
-func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile cacheScrape, per persistScrape, healthState int64) {
-	fmt.Fprintf(w, "# HELP cexd_uptime_seconds Seconds since the server started.\n")
-	fmt.Fprintf(w, "# TYPE cexd_uptime_seconds gauge\n")
+// write renders the scrape, in the classic Prometheus text exposition by
+// default or in OpenMetrics when openMetrics is set. Exemplars are only
+// legal in OpenMetrics — the classic text parser rejects trailing tokens
+// after a sample value — so the classic rendering never emits them; the
+// OpenMetrics rendering adds the trace-ID exemplars on slow conflict
+// buckets, declares counter families without their _total suffix, and
+// terminates with # EOF, per the OpenMetrics spec. queueDepth and the cache
+// scrapes are sampled gauges and counters the server passes in.
+func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile cacheScrape, per persistScrape, healthState int64, openMetrics bool) {
+	// head writes one family's HELP/TYPE headers. OpenMetrics names a
+	// counter family without the _total suffix its samples carry; the
+	// classic format uses the sample name throughout.
+	head := func(name, typ, help string) {
+		if openMetrics && typ == "counter" {
+			name = strings.TrimSuffix(name, "_total")
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	}
+
+	head("cexd_uptime_seconds", "gauge", "Seconds since the server started.")
 	fmt.Fprintf(w, "cexd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 
-	fmt.Fprintf(w, "# HELP cexd_requests_total Requests by outcome.\n")
-	fmt.Fprintf(w, "# TYPE cexd_requests_total counter\n")
+	head("cexd_requests_total", "counter", "Requests by outcome.")
 	names := make([]string, 0, len(m.requests))
 	for o := range m.requests {
 		names = append(names, o)
@@ -230,8 +246,7 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 		fmt.Fprintf(w, "cexd_requests_total{outcome=%q} %d\n", o, m.requests[o].count.Load())
 	}
 
-	fmt.Fprintf(w, "# HELP cexd_request_duration_seconds Request latency by outcome.\n")
-	fmt.Fprintf(w, "# TYPE cexd_request_duration_seconds histogram\n")
+	head("cexd_request_duration_seconds", "histogram", "Request latency by outcome.")
 	for _, o := range names {
 		om := m.requests[o]
 		if om.count.Load() == 0 {
@@ -245,9 +260,11 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 		fmt.Fprintf(w, "cexd_request_duration_seconds_count{outcome=%q} %d\n", o, om.count.Load())
 	}
 
-	fmt.Fprintf(w, "# HELP cexd_conflict_search_duration_seconds Per-conflict counterexample search latency; slow buckets carry the last offending trace ID (drill down at /debug/traces).\n")
-	fmt.Fprintf(w, "# TYPE cexd_conflict_search_duration_seconds histogram\n")
+	head("cexd_conflict_search_duration_seconds", "histogram", "Per-conflict counterexample search latency; in the OpenMetrics exposition slow buckets carry the last offending trace ID (drill down at /debug/traces).")
 	exemplar := func(i int) string {
+		if !openMetrics {
+			return "" // exemplars are not legal classic text format
+		}
 		ex := m.conflictExemplars[i].Load()
 		if ex == nil {
 			return ""
@@ -264,10 +281,12 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 	fmt.Fprintf(w, "cexd_conflict_search_duration_seconds_count %d\n", m.conflictCount.Load())
 
 	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		head(name, "counter", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
 	}
 	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		head(name, "gauge", help)
+		fmt.Fprintf(w, "%s %d\n", name, v)
 	}
 
 	gauge("cexd_queue_depth", "Jobs waiting for a worker.", int64(queueDepth))
@@ -304,8 +323,8 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 		persistLastOK = 1
 	}
 	gauge("cexd_persist_enabled", "1 when a -state-dir is configured and the store opened.", persistEnabled)
-	counter("cexd_persist_records_loaded", "Persisted cache records recovered at boot.", per.loaded)
-	counter("cexd_persist_records_skipped_corrupt", "Persisted records skipped at boot (corruption, truncation, version skew).", per.skipped)
+	counter("cexd_persist_records_loaded_total", "Persisted cache records recovered at boot.", per.loaded)
+	counter("cexd_persist_records_skipped_corrupt_total", "Persisted records skipped at boot (corruption, truncation, version skew).", per.skipped)
 	counter("cexd_persist_snapshots_total", "Successful state snapshots (interval and drain).", per.snapshots)
 	counter("cexd_persist_snapshot_failures_total", "Failed state snapshots (previous snapshot left intact).", per.snapFailures)
 	counter("cexd_persist_write_failures_total", "Failed journal appends (entry cold until the next snapshot).", per.writeFailures)
@@ -319,8 +338,7 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 	counter("cexd_repair_suggestions_total", "Repair suggestions served in responses (cache hits included).", m.repairSuggestions.Load())
 	counter("cexd_repair_cache_hits_total", "Repair reports served from the result cache.", m.repairCacheHits.Load())
 
-	fmt.Fprintf(w, "# HELP cexd_analysis_phase_seconds_total Cumulative wall-clock by analysis phase (executed analyses only).\n")
-	fmt.Fprintf(w, "# TYPE cexd_analysis_phase_seconds_total counter\n")
+	head("cexd_analysis_phase_seconds_total", "counter", "Cumulative wall-clock by analysis phase (executed analyses only).")
 	for _, p := range [...]struct {
 		name string
 		ns   int64
@@ -337,6 +355,10 @@ func (m *metrics) write(w io.Writer, queueDepth, queueCap int, result, compile c
 	counter("cexd_search_path_expanded_total", "Vertices expanded by the path searches.", m.searchPath.Load())
 	counter("cexd_search_alloc_bytes_total", "Search-owned bytes allocated.", m.searchAllocBytes.Load())
 	gauge("cexd_search_peak_frontier", "Largest frontier across analyses.", m.searchPeakFrontier.Load())
+
+	if openMetrics {
+		fmt.Fprintf(w, "# EOF\n")
+	}
 }
 
 // trimFloat renders a bucket bound the way Prometheus does (no trailing

@@ -231,8 +231,10 @@ func TestMetricsPrometheusLint(t *testing.T) {
 				t.Errorf("%s: inconsistent label names: %q vs %q", s.name, prev, sig)
 			}
 			byName[s.name] = sig
-			if s.exemplar != "" && (f.typ != "histogram" || !strings.HasSuffix(s.name, "_bucket")) {
-				t.Errorf("%s: exemplar on non-bucket sample: %s", name, s.line)
+			// Exemplars are only legal in OpenMetrics; a classic text-format
+			// scrape must never carry one, on any sample.
+			if s.exemplar != "" {
+				t.Errorf("%s: exemplar in classic text exposition: %s", name, s.line)
 			}
 		}
 
@@ -381,17 +383,24 @@ func lintHistogram(t *testing.T, f *promFamily) {
 }
 
 // TestConflictHistogramExemplars pins the exemplar contract at the metrics
-// layer: slow samples attach the observing trace ID to their own bucket,
-// fast samples never do, and the rendered line parses under the lint
-// grammar.
+// layer: in the OpenMetrics rendering, slow samples attach the observing
+// trace ID to their own bucket, fast samples never do, and the rendered
+// line parses under the lint grammar. The classic text rendering — where
+// exemplars are illegal — must not carry any.
 func TestConflictHistogramExemplars(t *testing.T) {
 	m := newMetrics()
 	m.observeConflict(100*time.Microsecond, "fast-trace") // below slow threshold
 	m.observeConflict(80*time.Millisecond, "slow-trace")  // lands in le=0.5
 	m.observeConflict(10*time.Second, "")                 // slow but anonymous: no exemplar
 
+	var classic strings.Builder
+	m.write(&classic, 0, 0, cacheScrape{}, cacheScrape{}, persistScrape{}, 0, false)
+	if strings.Contains(classic.String(), " # {") {
+		t.Error("classic text exposition carries an exemplar")
+	}
+
 	var sb strings.Builder
-	m.write(&sb, 0, 0, cacheScrape{}, cacheScrape{}, persistScrape{}, 0)
+	m.write(&sb, 0, 0, cacheScrape{}, cacheScrape{}, persistScrape{}, 0, true)
 	text := sb.String()
 
 	if strings.Contains(text, "fast-trace") {
@@ -424,4 +433,93 @@ func TestConflictHistogramExemplars(t *testing.T) {
 		t.Fatal("conflict histogram family missing or mistyped")
 	}
 	lintHistogram(t, f)
+}
+
+// scrapeOM scrapes /metrics negotiating the OpenMetrics exposition,
+// returning the body and the response Content-Type.
+func scrapeOM(t *testing.T, ts *httptest.Server) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", res.StatusCode)
+	}
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), res.Header.Get("Content-Type")
+}
+
+// TestMetricsOpenMetricsExposition checks the negotiated OpenMetrics
+// rendering: content type, # EOF framing, counter families declared without
+// the _total suffix their samples carry, and exemplars present but confined
+// to histogram bucket lines. The classic scrape of the same server must
+// remain exemplar-free.
+func TestMetricsOpenMetricsExposition(t *testing.T) {
+	s, ts := newTestServer(t, Config{Tracer: trace.NewTracer(8)})
+	postAnalyze(t, ts, &AnalyzeRequest{Name: "figure1", Grammar: figure1Source(t)}, nil)
+	// Force a slow-bucket sample so the scrape carries an exemplar.
+	s.m.observeConflict(80*time.Millisecond, "slow-trace")
+
+	text, ctype := scrapeOM(t, ts)
+	if !strings.Contains(ctype, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics scrape Content-Type = %q", ctype)
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		t.Error("OpenMetrics exposition not terminated by # EOF")
+	}
+
+	counterFams := map[string]bool{}
+	sawExemplar := false
+	for _, line := range lines {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name, typ, _ := strings.Cut(strings.TrimPrefix(line, "# TYPE "), " ")
+			if typ == "counter" {
+				if strings.HasSuffix(name, "_total") {
+					t.Errorf("OpenMetrics counter family keeps the _total suffix: %s", line)
+				}
+				counterFams[name] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		if counterFams[m[1]] {
+			t.Errorf("counter sample missing the _total suffix: %s", line)
+		}
+		if m[4] != "" {
+			sawExemplar = true
+			if !strings.HasSuffix(m[1], "_bucket") {
+				t.Errorf("exemplar on non-bucket sample: %s", line)
+			}
+		}
+	}
+	if !sawExemplar {
+		t.Error("no exemplar in the OpenMetrics exposition despite a slow conflict sample")
+	}
+
+	// Content negotiation: the plain scrape of the same server stays in the
+	// classic text format — no exemplars, no # EOF.
+	classic := scrape(t, ts)
+	if strings.Contains(classic, " # {") {
+		t.Error("classic scrape carries an exemplar")
+	}
+	if strings.Contains(classic, "# EOF") {
+		t.Error("classic scrape carries OpenMetrics framing")
+	}
 }

@@ -95,15 +95,15 @@ func TestWarmRestartServesCached(t *testing.T) {
 	body := string(raw)
 	for _, want := range []string{
 		"cexd_persist_enabled 1",
-		"cexd_persist_records_skipped_corrupt 0",
+		"cexd_persist_records_skipped_corrupt_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
 		}
 	}
-	if !strings.Contains(body, "cexd_persist_records_loaded 2") &&
-		!strings.Contains(body, "cexd_persist_records_loaded 3") {
-		t.Errorf("/metrics cexd_persist_records_loaded not >= 2:\n%s", grepLines(body, "cexd_persist"))
+	if !strings.Contains(body, "cexd_persist_records_loaded_total 2") &&
+		!strings.Contains(body, "cexd_persist_records_loaded_total 3") {
+		t.Errorf("/metrics cexd_persist_records_loaded_total not >= 2:\n%s", grepLines(body, "cexd_persist"))
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -644,8 +645,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.per != nil {
 		per = s.per.scrape()
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.write(w, len(s.jobs), cap(s.jobs), result, compile, per, s.healthState())
+	// Trace-ID exemplars are only legal in the OpenMetrics exposition, so
+	// the format is negotiated: clients that accept openmetrics-text get the
+	// exemplar-bearing rendering (with # EOF framing); everyone else gets
+	// the classic text format without them, which the classic parser would
+	// otherwise reject.
+	om := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+	if om {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	}
+	s.m.write(w, len(s.jobs), cap(s.jobs), result, compile, per, s.healthState(), om)
 }
 
 // execute runs one admitted analysis (or analysis + repair, when rep is

@@ -140,17 +140,19 @@ func (tr *Tracer) Total() int64 {
 }
 
 // Trace is one request's (or one run's) span tree, assembled as spans start
-// and finish. Spans are appended under the trace mutex; readers (export,
-// canonical rendering) should wait for the trace to finish — the ring only
-// holds finished traces.
+// and finish. Spans are appended under the trace mutex. Finishing seals the
+// trace: new spans and attribute writes are dropped and any still-open span
+// is end-stamped, so the tree the ring serves to readers is immutable even
+// when a watchdog-abandoned worker goroutine is still running against it.
 type Trace struct {
 	tracer *Tracer
 	id     string
 	start  time.Time
 
-	mu       sync.Mutex
-	spans    []*Span
-	finished bool
+	finished atomic.Bool
+
+	mu    sync.Mutex
+	spans []*Span
 }
 
 // ID returns the trace identifier (the request ID on cexd, the run label in
@@ -168,16 +170,26 @@ func (t *Trace) Spans() []*Span {
 	return append([]*Span(nil), t.spans...)
 }
 
-// finish moves the trace into the tracer's ring and decrements the live
-// counter. Idempotent: only the first root End finishes.
+// finish seals the trace and moves it into the tracer's ring, decrementing
+// the live counter. Idempotent: only the first root End finishes. Sealing
+// stamps an end time on every span still open (a watchdog-abandoned worker
+// may never End its spans) before the ring can serve the trace, so readers
+// see a stable tree.
 func (t *Trace) finish() {
-	t.mu.Lock()
-	if t.finished {
-		t.mu.Unlock()
+	if !t.finished.CompareAndSwap(false, true) {
 		return
 	}
-	t.finished = true
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
 	t.mu.Unlock()
+	now := time.Now()
+	for _, s := range spans {
+		s.mu.Lock()
+		if s.end.IsZero() {
+			s.end = now
+		}
+		s.mu.Unlock()
+	}
 	liveTraces.Add(-1)
 	if t.tracer != nil {
 		t.tracer.add(t)
@@ -292,9 +304,10 @@ func (s *Span) Attr(key string) any {
 
 // Set records a deterministic attribute: its value must be a pure function
 // of the inputs (grammar, options, seeds), never of wall-clock or worker
-// count, because it participates in the canonical tree. Nil-safe.
+// count, because it participates in the canonical tree. Nil-safe; writes on
+// a finished (sealed) trace are dropped.
 func (s *Span) Set(key string, val any) {
-	if s == nil {
+	if s == nil || s.trace.finished.Load() {
 		return
 	}
 	s.mu.Lock()
@@ -303,9 +316,10 @@ func (s *Span) Set(key string, val any) {
 }
 
 // SetVolatile records a wall-clock- or schedule-dependent attribute: it is
-// exported but excluded from the canonical determinism rendering. Nil-safe.
+// exported but excluded from the canonical determinism rendering. Nil-safe;
+// writes on a finished (sealed) trace are dropped.
 func (s *Span) SetVolatile(key string, val any) {
-	if s == nil {
+	if s == nil || s.trace.finished.Load() {
 		return
 	}
 	s.mu.Lock()
@@ -330,7 +344,8 @@ func (s *Span) End() {
 }
 
 // newSpan allocates a span, derives its deterministic ID, and registers it
-// with the trace.
+// with the trace. On a finished trace it returns nil (every Span method is
+// nil-safe): once the ring has served a trace, no goroutine may grow it.
 func (t *Trace) newSpan(parent *Span, name string, seq uint64) *Span {
 	s := &Span{trace: t, parent: parent, name: name, seq: seq, start: time.Now()}
 	var base uint64
@@ -344,6 +359,10 @@ func (t *Trace) newSpan(parent *Span, name string, seq uint64) *Span {
 	// IDs at any worker count.
 	s.id = splitmix64(base ^ fnv64(name) ^ (seq+1)*0x9e3779b97f4a7c15)
 	t.mu.Lock()
+	if t.finished.Load() {
+		t.mu.Unlock()
+		return nil
+	}
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 	return s
@@ -382,6 +401,9 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	s := parent.trace.newSpan(parent, name, parent.childSeq.Add(1))
+	if s == nil {
+		return ctx, nil
+	}
 	return context.WithValue(ctx, ctxKey{}, s), s
 }
 
@@ -398,6 +420,9 @@ func StartSeq(ctx context.Context, name string, seq int) (context.Context, *Span
 		return ctx, nil
 	}
 	s := parent.trace.newSpan(parent, name, uint64(seq)+1_000_000)
+	if s == nil {
+		return ctx, nil
+	}
 	return context.WithValue(ctx, ctxKey{}, s), s
 }
 

@@ -291,3 +291,56 @@ func TestDurations(t *testing.T) {
 		t.Fatalf("root duration %v implausibly small", d)
 	}
 }
+
+// TestFinishSealsTrace pins the watchdog-abandonment contract: once the root
+// span ends (finishing the trace into the ring), a worker goroutine still
+// holding the trace's contexts and spans cannot mutate the tree readers see —
+// new spans are dropped, attribute writes are dropped, and any span left
+// open is end-stamped at finish time.
+func TestFinishSealsTrace(t *testing.T) {
+	// Keep an unrelated trace live so the global fast path cannot mask the
+	// per-trace seal.
+	_, other := New(context.Background(), NewTracer(1), "other", "root")
+	defer other.End()
+
+	tr := NewTracer(1)
+	ctx, root := New(context.Background(), tr, "sealed", "root")
+	childCtx, child := Start(ctx, "worker")
+	time.Sleep(time.Millisecond) // so the seal's end stamp is after start
+	root.End()                   // finishes the trace with child still open
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(traces))
+	}
+	if got := len(traces[0].Spans()); got != 2 {
+		t.Fatalf("finished trace has %d spans, want 2", got)
+	}
+	if child.Duration() <= 0 {
+		t.Error("open span not end-stamped at finish")
+	}
+
+	// The abandoned worker keeps going: none of this may reach the tree.
+	if _, s := Start(childCtx, "late"); s != nil {
+		t.Error("Start on a finished trace returned a live span")
+	}
+	if _, s := StartSeq(childCtx, "late", 7); s != nil {
+		t.Error("StartSeq on a finished trace returned a live span")
+	}
+	if s := Child(childCtx, "late"); s != nil {
+		t.Error("Child on a finished trace returned a live span")
+	}
+	child.Set("k", "v")
+	child.SetVolatile("vk", 1)
+	if child.Attr("k") != nil || child.Attr("vk") != nil {
+		t.Error("attribute write on a sealed trace was recorded")
+	}
+	end := child.Duration()
+	child.End() // idempotent: must not restamp
+	if child.Duration() != end {
+		t.Error("End on a sealed span changed its duration")
+	}
+	if got := len(tr.Traces()[0].Spans()); got != 2 {
+		t.Errorf("sealed trace grew to %d spans", got)
+	}
+}
